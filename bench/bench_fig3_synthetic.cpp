@@ -1,0 +1,89 @@
+// Figure 3: comparison of the TLA algorithm pool on the demo and Branin
+// synthetic functions.
+//
+// Scenarios (paper Fig. 3):
+//   (a) demo,   source t=0.8 -> target t=1.0, 1 source, 200 samples
+//   (b) demo,   source t=0.8 -> target t=1.2
+//   (c,d) Branin, 1 random source task -> 2 random target tasks
+//   (e,f) Branin, 3 random source tasks -> the same 2 target tasks
+// All 9 tuners of the paper run on every scenario, 5 seeds by default in
+// the paper (3 here; use --seeds=5 --full to match).
+//
+//   $ ./bench_fig3_synthetic [--only=a] [--seeds=5] [--budget=20]
+#include "apps/synthetic.hpp"
+#include "bench_common.hpp"
+
+using namespace gptc;
+using bench::BenchConfig;
+
+namespace {
+
+const std::vector<core::TlaKind> kAllTuners = {
+    core::TlaKind::NoTLA,
+    core::TlaKind::MultitaskPS,
+    core::TlaKind::MultitaskTS,
+    core::TlaKind::WeightedSumEqual,
+    core::TlaKind::WeightedSumDynamic,
+    core::TlaKind::Stacking,
+    core::TlaKind::EnsembleProposed,
+    core::TlaKind::EnsembleToggling,
+    core::TlaKind::EnsembleProb,
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::parse(argc, argv);
+  // Paper fidelity: 5 seeds, 200 source samples (use --full --seeds=5).
+  // Default: 2 seeds so the full 6-scenario x 9-tuner sweep stays fast.
+  if (config.seeds == 3 && !config.full) config.seeds = 2;
+  const int source_samples = config.full ? 200 : 120;
+
+  const auto demo = apps::make_demo_problem();
+  const auto branin = apps::make_branin_problem();
+
+  // Random source/target Branin tasks (the paper's S1–S3, T1–T2).
+  rng::Rng task_rng(20230001);
+  std::vector<space::Config> branin_sources;
+  for (int i = 0; i < 3; ++i)
+    branin_sources.push_back(branin.task_space.sample(task_rng));
+  std::vector<space::Config> branin_targets;
+  for (int i = 0; i < 2; ++i)
+    branin_targets.push_back(branin.task_space.sample(task_rng));
+
+  struct Scenario {
+    std::string id;
+    const space::TuningProblem* problem;
+    space::Config target;
+    std::vector<space::Config> sources;
+  };
+  std::vector<Scenario> scenarios = {
+      {"a", &demo, {space::Value(1.0)}, {{space::Value(0.8)}}},
+      {"b", &demo, {space::Value(1.2)}, {{space::Value(0.8)}}},
+      {"c", &branin, branin_targets[0], {branin_sources[0]}},
+      {"d", &branin, branin_targets[1], {branin_sources[0]}},
+      {"e", &branin, branin_targets[0], branin_sources},
+      {"f", &branin, branin_targets[1], branin_sources},
+  };
+
+  for (const auto& sc : scenarios) {
+    if (!config.only.empty() && config.only != sc.id) continue;
+    std::vector<core::TaskHistory> histories;
+    for (std::size_t s = 0; s < sc.sources.size(); ++s)
+      histories.push_back(core::collect_random_samples(
+          *sc.problem, sc.sources[s], source_samples, 42 + s));
+
+    const auto series = bench::run_comparison(
+        *sc.problem, sc.target, histories, kAllTuners, config,
+        /*seed_base=*/3000 + static_cast<std::uint64_t>(sc.id[0]));
+    bench::print_series_table(
+        "Fig. 3(" + sc.id + ") " + sc.problem->name + ", " +
+            std::to_string(sc.sources.size()) + " source task(s), " +
+            std::to_string(source_samples) + " samples each",
+        series);
+    bench::print_headline(series, core::TlaKind::EnsembleProposed,
+                          core::TlaKind::NoTLA, std::min(config.budget, 20),
+                          ("fig3-" + sc.id).c_str());
+  }
+  return 0;
+}

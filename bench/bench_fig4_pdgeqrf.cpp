@@ -1,0 +1,72 @@
+// Figure 4: transfer learning on ScaLAPACK's PDGEQRF, 8 Cori Haswell nodes
+// (256 cores).
+//
+//   (a) one source task  (m=n=10000, 100 random samples)
+//   (b) three source tasks (m=n=10000, 8000, 6000; 100 samples each)
+//
+// The target task is a new matrix size (m=n=12000) not present in the
+// crowd data. (The paper does not state the target size explicitly; both
+// panels share the same NoTLA curve, so a single fixed target is used —
+// see EXPERIMENTS.md.) Paper: 3 repetitions, 10 evaluations; Table II
+// parameter space.
+//
+//   $ ./bench_fig4_pdgeqrf [--only=a|b] [--seeds=3] [--budget=10]
+#include "apps/pdgeqrf.hpp"
+#include "bench_common.hpp"
+
+using namespace gptc;
+using bench::BenchConfig;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::parse(argc, argv);
+  if (config.budget == 20) config.budget = 10;  // the paper uses 10 here
+  // The paper averages 3 repetitions; this landscape's seed variance is
+  // large relative to the transfer gain, so default to 6 for a stable mean.
+  if (config.seeds == 3 && !config.full) config.seeds = 6;
+
+  const auto machine = hpcsim::MachineModel::cori_haswell();
+  const auto problem = apps::make_pdgeqrf_problem(machine, 8);
+
+  std::printf("Table II parameter space:\n");
+  for (const auto& p : problem.param_space.params())
+    std::printf("  %-12s integer [%g, %g)\n", p.name().c_str(), p.lower(),
+                p.upper());
+
+  const std::vector<std::int64_t> source_sizes = {10000, 8000, 6000};
+  std::vector<core::TaskHistory> sources;
+  for (std::size_t i = 0; i < source_sizes.size(); ++i) {
+    const space::Config task = {space::Value(source_sizes[i]),
+                                space::Value(source_sizes[i])};
+    sources.push_back(
+        core::collect_random_samples(problem, task, 100, 77 + i));
+  }
+  const space::Config target = {space::Value(std::int64_t{12000}),
+                                space::Value(std::int64_t{12000})};
+
+  const std::vector<core::TlaKind> tuners = {
+      core::TlaKind::NoTLA,          core::TlaKind::MultitaskTS,
+      core::TlaKind::WeightedSumDynamic, core::TlaKind::Stacking,
+      core::TlaKind::EnsembleProposed,
+  };
+
+  if (config.only.empty() || config.only == "a") {
+    const auto series = bench::run_comparison(
+        problem, target, {sources[0]}, tuners, config, /*seed_base=*/4100);
+    bench::print_series_table(
+        "Fig. 4(a) PDGEQRF, 1 source (m=n=10000, 100 samples)", series);
+    bench::print_headline(series, core::TlaKind::EnsembleProposed,
+                          core::TlaKind::NoTLA, config.budget,
+                          "fig4-a (paper: 1.19x)");
+  }
+  if (config.only.empty() || config.only == "b") {
+    const auto series = bench::run_comparison(problem, target, sources,
+                                              tuners, config,
+                                              /*seed_base=*/4200);
+    bench::print_series_table(
+        "Fig. 4(b) PDGEQRF, 3 sources (m=n=10000/8000/6000)", series);
+    bench::print_headline(series, core::TlaKind::EnsembleProposed,
+                          core::TlaKind::NoTLA, config.budget,
+                          "fig4-b (paper: 1.57x)");
+  }
+  return 0;
+}

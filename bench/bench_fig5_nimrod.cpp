@@ -1,0 +1,83 @@
+// Figure 5: transfer learning on NIMROD. One crowd source dataset — 500
+// random samples for task {mx:5, my:7, lphi:1} on 32 Cori Haswell nodes —
+// transferred to three target settings:
+//
+//   (a) 64 Haswell nodes, same task            (across node counts)
+//   (b) 32 KNL nodes,   {mx:5, my:4, lphi:1}   (across architectures)
+//   (c) 64 Haswell nodes, {mx:6, my:8, lphi:1} (across problem sizes;
+//       bad npz configurations fail with OOM, as in the paper)
+//
+// Paper: 3 repetitions, 10 evaluations, Table III parameter space.
+//
+//   $ ./bench_fig5_nimrod [--only=a|b|c] [--seeds=3] [--budget=10]
+#include "apps/nimrod.hpp"
+#include "bench_common.hpp"
+
+using namespace gptc;
+using bench::BenchConfig;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::parse(argc, argv);
+  if (config.budget == 20) config.budget = 10;
+
+  const auto haswell = hpcsim::MachineModel::cori_haswell();
+  const auto knl = hpcsim::MachineModel::cori_knl();
+
+  const auto src_problem = apps::make_nimrod_problem(haswell, 32);
+  std::printf("Table III parameter space:\n");
+  for (const auto& p : src_problem.param_space.params())
+    std::printf("  %-6s integer [%g, %g)\n", p.name().c_str(), p.lower(),
+                p.upper());
+
+  const space::Config src_task = {space::Value(std::int64_t{5}),
+                                  space::Value(std::int64_t{7}),
+                                  space::Value(std::int64_t{1})};
+  const int n_src = config.full ? 500 : 250;
+  std::printf("collecting %d source samples on 32 Haswell nodes...\n", n_src);
+  const core::TaskHistory source =
+      core::collect_random_samples(src_problem, src_task, n_src, 88);
+
+  const std::vector<core::TlaKind> tuners = {
+      core::TlaKind::NoTLA,          core::TlaKind::MultitaskTS,
+      core::TlaKind::WeightedSumDynamic, core::TlaKind::Stacking,
+      core::TlaKind::EnsembleProposed,
+  };
+
+  struct Scenario {
+    std::string id;
+    space::TuningProblem problem;
+    space::Config target;
+    const char* label;
+    const char* paper;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"a", apps::make_nimrod_problem(haswell, 64),
+                       src_task,
+                       "Fig. 5(a) 64 Haswell nodes, same task",
+                       "fig5-a (paper: 1.16x ensemble, 1.20x TS)"});
+  scenarios.push_back({"b", apps::make_nimrod_problem(knl, 32),
+                       {space::Value(std::int64_t{5}),
+                        space::Value(std::int64_t{4}),
+                        space::Value(std::int64_t{1})},
+                       "Fig. 5(b) 32 KNL nodes, {mx:5,my:4,lphi:1}",
+                       "fig5-b (paper: 1.10x)"});
+  scenarios.push_back({"c", apps::make_nimrod_problem(haswell, 64),
+                       {space::Value(std::int64_t{6}),
+                        space::Value(std::int64_t{8}),
+                        space::Value(std::int64_t{1})},
+                       "Fig. 5(c) 64 Haswell nodes, {mx:6,my:8,lphi:1}",
+                       "fig5-c (paper: 2.97x)"});
+
+  for (auto& sc : scenarios) {
+    if (!config.only.empty() && config.only != sc.id) continue;
+    const auto series = bench::run_comparison(
+        sc.problem, sc.target, {source}, tuners, config,
+        /*seed_base=*/5000 + static_cast<std::uint64_t>(sc.id[0]));
+    bench::print_series_table(sc.label, series);
+    bench::print_headline(series, core::TlaKind::EnsembleProposed,
+                          core::TlaKind::NoTLA, config.budget, sc.paper);
+    bench::print_headline(series, core::TlaKind::MultitaskTS,
+                          core::TlaKind::NoTLA, config.budget, sc.paper);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks of the application simulators: the cost of one
+// objective evaluation, and of the one-time symbolic analyses that feed
+// them. These bound the evaluation throughput of the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "apps/hypre.hpp"
+#include "apps/nimrod.hpp"
+#include "apps/pdgeqrf.hpp"
+#include "apps/superlu.hpp"
+#include "sparse/symbolic.hpp"
+
+using namespace gptc;
+
+namespace {
+
+void BM_PdgeqrfEval(benchmark::State& state) {
+  const auto machine = hpcsim::MachineModel::cori_haswell();
+  apps::PdgeqrfConfig config;
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::pdgeqrf_time(machine, 8, n, n, config, 1));
+  }
+}
+BENCHMARK(BM_PdgeqrfEval)->Arg(10000)->Arg(40000)->Unit(benchmark::kMicrosecond);
+
+void BM_SuperluFactorEval(benchmark::State& state) {
+  hpcsim::Allocation alloc{hpcsim::MachineModel::cori_haswell(), 4, 32};
+  apps::SuperluDistSim sim(sparse::si5h12_like(), 1);
+  apps::SuperluConfig config;
+  config.nprows = 8;
+  sim.factor_time(config, alloc);  // warm the symbolic cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.factor_time(config, alloc));
+  }
+}
+BENCHMARK(BM_SuperluFactorEval)->Unit(benchmark::kMicrosecond);
+
+void BM_SuperluSymbolic(benchmark::State& state) {
+  const auto pattern = sparse::si5h12_like();
+  for (auto _ : state) {
+    const auto perm = sparse::rcm_ordering(pattern);
+    benchmark::DoNotOptimize(sparse::symbolic_factorize(pattern, perm));
+  }
+}
+BENCHMARK(BM_SuperluSymbolic)->Unit(benchmark::kMillisecond);
+
+void BM_MinimumDegreeOrdering(benchmark::State& state) {
+  const auto pattern = sparse::parsec_like(
+      static_cast<std::size_t>(state.range(0)), 15, 1.0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::minimum_degree_ordering(pattern));
+  }
+}
+BENCHMARK(BM_MinimumDegreeOrdering)
+    ->Arg(300)
+    ->Arg(600)
+    ->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NimrodEval(benchmark::State& state) {
+  apps::NimrodSim sim(hpcsim::MachineModel::cori_haswell(), 32);
+  apps::NimrodTask task{5, 7, 1};
+  apps::NimrodConfig config;
+  sim.run_time(task, config);  // warm the per-task solver cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_time(task, config));
+  }
+}
+BENCHMARK(BM_NimrodEval)->Unit(benchmark::kMicrosecond);
+
+void BM_HypreEval(benchmark::State& state) {
+  const auto machine = hpcsim::MachineModel::cori_haswell();
+  apps::HypreConfig config;
+  config.smooth_type = "ParaSails";
+  config.smooth_num_levels = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::hypre_time(machine, 100, 100, 100, config, 1));
+  }
+}
+BENCHMARK(BM_HypreEval)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,175 @@
+// google-benchmark microbenchmarks of the library substrates: dense
+// kernels, GP fit/predict scaling, LCM fit, acquisition search, Sobol
+// estimators, JSON parsing and document-store queries.
+//
+//   $ ./bench_micro_substrates [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include "core/acquisition.hpp"
+#include "db/document_store.hpp"
+#include "gp/gaussian_process.hpp"
+#include "gp/lcm.hpp"
+#include "json/json.hpp"
+#include "la/matrix.hpp"
+#include "opt/optimize.hpp"
+#include "sa/sobol.hpp"
+
+using namespace gptc;
+
+namespace {
+
+la::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  rng::Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.normal();
+  return m;
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix a = random_matrix(n, n, 1);
+  la::Matrix spd = la::matmul(a, a.transposed());
+  spd.add_diagonal(static_cast<double>(n));
+  for (auto _ : state) {
+    la::Cholesky chol(spd);
+    benchmark::DoNotOptimize(chol.log_det());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Cholesky)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_matrix(n, n, 2);
+  const la::Matrix b = random_matrix(n, n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::matmul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GpFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(4);
+  const auto pts = opt::latin_hypercube(n, 4, rng);
+  la::Vector y;
+  for (const auto& p : pts) y.push_back(std::sin(5.0 * p[0]) + p[1]);
+  const la::Matrix x = la::Matrix::from_rows(
+      std::vector<la::Vector>(pts.begin(), pts.end()));
+  for (auto _ : state) {
+    gp::GaussianProcess model(4);
+    rng::Rng fit_rng(5);
+    model.fit(x, y, fit_rng);
+    benchmark::DoNotOptimize(model.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_GpPredict(benchmark::State& state) {
+  rng::Rng rng(6);
+  const auto pts = opt::latin_hypercube(100, 4, rng);
+  la::Vector y;
+  for (const auto& p : pts) y.push_back(std::sin(5.0 * p[0]) + p[1]);
+  gp::GaussianProcess model(4);
+  rng::Rng fit_rng(7);
+  model.fit(la::Matrix::from_rows({pts.begin(), pts.end()}), y, fit_rng);
+  la::Vector q = {0.3, 0.4, 0.5, 0.6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(q));
+  }
+}
+BENCHMARK(BM_GpPredict);
+
+void BM_LcmFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(8);
+  std::vector<gp::TaskData> tasks(2);
+  for (int t = 0; t < 2; ++t) {
+    const auto pts = opt::latin_hypercube(n, 2, rng);
+    la::Vector y;
+    for (const auto& p : pts)
+      y.push_back((t + 1.0) * std::sin(4.0 * p[0]) + p[1]);
+    tasks[static_cast<std::size_t>(t)] =
+        gp::TaskData{la::Matrix::from_rows({pts.begin(), pts.end()}), y};
+  }
+  for (auto _ : state) {
+    gp::LcmModel model(2, 2);
+    rng::Rng fit_rng(9);
+    model.fit(tasks, fit_rng);
+    benchmark::DoNotOptimize(model.predict(1, {0.5, 0.5}));
+  }
+}
+BENCHMARK(BM_LcmFit)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_AcquisitionSearch(benchmark::State& state) {
+  rng::Rng rng(10);
+  const auto pts = opt::latin_hypercube(60, 4, rng);
+  la::Vector y;
+  for (const auto& p : pts) y.push_back(std::cos(4.0 * p[0]) + p[2]);
+  gp::GaussianProcess model(4);
+  rng::Rng fit_rng(11);
+  model.fit(la::Matrix::from_rows({pts.begin(), pts.end()}), y, fit_rng);
+  for (auto _ : state) {
+    rng::Rng search_rng(12);
+    benchmark::DoNotOptimize(
+        core::maximize_ei(model, 0.0, search_rng));
+  }
+}
+BENCHMARK(BM_AcquisitionSearch)->Unit(benchmark::kMillisecond);
+
+void BM_SobolAnalysis(benchmark::State& state) {
+  const sa::CubeFn f = [](const la::Vector& u) {
+    return std::sin(6.0 * u[0]) + 0.5 * u[1] * u[2];
+  };
+  sa::SobolOptions opt;
+  opt.base_samples = static_cast<std::size_t>(state.range(0));
+  opt.bootstrap = 50;
+  for (auto _ : state) {
+    rng::Rng rng(13);
+    benchmark::DoNotOptimize(
+        sa::analyze_function(f, 3, {"a", "b", "c"}, rng, opt));
+  }
+}
+BENCHMARK(BM_SobolAnalysis)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_JsonParse(benchmark::State& state) {
+  json::Json doc = json::Json::object();
+  for (int i = 0; i < 64; ++i) {
+    json::Json rec = json::Json::object();
+    rec["task"] = i;
+    rec["runtime"] = 0.5 * i;
+    rec["params"] = json::Json::parse(R"({"mb":4,"nb":8,"p":16})");
+    doc["r" + std::to_string(i)] = std::move(rec);
+  }
+  const std::string text = doc.dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::Json::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+void BM_DbQuery(benchmark::State& state) {
+  db::Collection coll("func_eval");
+  rng::Rng rng(14);
+  for (int i = 0; i < 2000; ++i) {
+    json::Json rec = json::Json::object();
+    rec["problem"] = (i % 3 == 0) ? "pdgeqrf" : "hypre";
+    json::Json task = json::Json::object();
+    task["m"] = rng.uniform_int(1000, 20000);
+    rec["task_parameters"] = std::move(task);
+    coll.insert(std::move(rec));
+  }
+  const json::Json query = json::Json::parse(
+      R"({"problem":"pdgeqrf","task_parameters.m":{"$gte":5000,"$lt":15000}})");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll.find(query));
+  }
+}
+BENCHMARK(BM_DbQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

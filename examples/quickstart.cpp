@@ -1,0 +1,61 @@
+// Quickstart: tune a black-box function with Bayesian optimization.
+//
+// Defines a tiny tuning problem (one task parameter, two tuning
+// parameters), runs the NoTLA tuner for 20 evaluations, and prints the
+// trajectory and the best configuration found.
+//
+//   $ ./quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "core/tuner.hpp"
+
+using namespace gptc;
+
+int main() {
+  // 1. Describe the tuning problem: task space, parameter space, objective.
+  space::TuningProblem problem;
+  problem.name = "quickstart";
+  problem.task_space =
+      space::Space({space::Parameter::real("scale", 0.5, 2.0)});
+  problem.param_space = space::Space({
+      space::Parameter::real("x", -2.0, 2.0),
+      space::Parameter::integer("k", 1, 8),
+  });
+  problem.output_name = "cost";
+  problem.objective = [](const space::Config& task,
+                         const space::Config& params) {
+    const double scale = task[0].as_double();
+    const double x = params[0].as_double();
+    const auto k = static_cast<double>(params[1].as_int());
+    // A bumpy 2-d surface with an integer axis: minimum near x=0.7, k=3.
+    return scale * ((x - 0.7) * (x - 0.7) + 0.3 * std::abs(k - 3.0) +
+                    0.1 * std::sin(8.0 * x) + 0.5);
+  };
+
+  // 2. Configure and run the tuner.
+  core::TunerOptions options;
+  options.budget = 20;
+  options.algorithm = core::TlaKind::NoTLA;
+  options.seed = 42;
+  options.on_evaluation = [](int i, const core::EvalRecord& rec,
+                             double best) {
+    std::printf("  eval %2d: x=%6.3f k=%lld -> %.4f (best so far %.4f)\n",
+                i + 1, rec.params[0].as_double(),
+                static_cast<long long>(rec.params[1].as_int()), rec.output,
+                best);
+  };
+
+  const space::Config task = {space::Value(1.0)};
+  std::printf("Tuning '%s' for task scale=1.0, budget 20:\n",
+              problem.name.c_str());
+  const core::TuningResult result =
+      core::Tuner(problem, options).tune(task);
+
+  // 3. Report.
+  const auto best = result.best_config().value();
+  std::printf("\nBest: cost=%.4f at x=%.3f, k=%lld\n",
+              result.best_output().value(), best[0].as_double(),
+              static_cast<long long>(best[1].as_int()));
+  return 0;
+}

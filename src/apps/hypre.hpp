@@ -1,0 +1,57 @@
+// Hypre (BoomerAMG-preconditioned GMRES) simulator — paper Sec. VI-E,
+// Table V.
+//
+// Solves the Poisson equation on an [nx, ny, nz] structured grid. The
+// simulator constructs the AMG hierarchy level by level — coarsening
+// ratio and operator complexity per coarsen_type / agg_num_levels /
+// strong_threshold / interp_type / trunc_factor / P_max_elmts — assigns a
+// smoother cost and strength per level (smooth_type on the first
+// smooth_num_levels levels, relax_type elsewhere), derives the GMRES
+// iteration count from the resulting convergence factor, and charges
+// compute plus halo-exchange communication for the Px x Py x Pz domain
+// decomposition (Pz = Nproc / (Px*Py)).
+//
+// The sensitivity structure of Table V is emergent: smooth_type and
+// smooth_num_levels move both per-iteration cost and iteration count;
+// agg_num_levels moves operator complexity strongly; Py is comm-sensitive
+// because y-face halos pack strided data while x-faces are contiguous (the
+// asymmetry the paper measures); strong_threshold / trunc_factor /
+// P_max_elmts / coarsen_type / relax_type / interp_type nudge the
+// hierarchy only mildly on a well-behaved Poisson problem.
+#pragma once
+
+#include "hpcsim/machine.hpp"
+#include "space/space.hpp"
+
+namespace gptc::apps {
+
+struct HypreConfig {
+  int px = 2;
+  int py = 2;
+  int nproc = 8;
+  double strong_threshold = 0.25;
+  double trunc_factor = 0.0;
+  int p_max_elmts = 4;
+  std::string coarsen_type = "Falgout";
+  std::string relax_type = "hybrid-GS";
+  std::string smooth_type = "none";
+  int smooth_num_levels = 0;
+  std::string interp_type = "classical";
+  int agg_num_levels = 0;
+};
+
+const std::vector<std::string>& hypre_coarsen_types();   // 8 choices
+const std::vector<std::string>& hypre_relax_types();     // 6 choices
+const std::vector<std::string>& hypre_smooth_types();    // 5 choices
+const std::vector<std::string>& hypre_interp_types();    // 7 choices
+
+/// Simulated wall time of the GMRES+BoomerAMG solve to 1e-8 relative
+/// residual on one node of `machine`.
+double hypre_time(const hpcsim::MachineModel& machine, int nx, int ny, int nz,
+                  const HypreConfig& config, std::uint64_t noise_seed);
+
+/// TuningProblem of Table V: task (nx, ny, nz), the 12 tuning parameters.
+space::TuningProblem make_hypre_problem(const hpcsim::MachineModel& machine,
+                                        std::uint64_t noise_seed = 4);
+
+}  // namespace gptc::apps

@@ -1,0 +1,74 @@
+// NIMROD simulator (paper Sec. VI-C, Table III).
+//
+// NIMROD advances extended-MHD equations with a high-order finite-element
+// poloidal plane and pseudo-spectral toroidal direction. Each time step
+// assembles matrices (blocked by nbx/nby) and solves nonsymmetric sparse
+// systems per Fourier mode with block-Jacobi-preconditioned GMRES; each
+// Jacobi block is factorized with SuperLU_DIST's 3-D algorithm.
+//
+// Task parameters (fixing geometry and 30 time steps, as the paper does):
+//   mx, my  — 2^mx x 2^my poloidal mesh DoF;
+//   lphi    — floor(2^lphi / 3) + 1 toroidal Fourier modes.
+// Tuning parameters (Table III):
+//   NSUP, NREL — SuperLU supernode knobs (through the real symbolic
+//                pipeline of src/sparse on the task's mesh);
+//   nbx, nby   — 2^nbx x 2^nby assembly blocking (cache working set);
+//   npz        — 2^npz z-layers of the SuperLU 3-D process grid:
+//                communication avoidance vs per-layer memory replication —
+//                large problems + large npz run out of memory and FAIL
+//                (NaN), reproducing the failed runs of Fig. 5(c).
+#pragma once
+
+#include <memory>
+
+#include "apps/superlu.hpp"
+#include "hpcsim/machine.hpp"
+#include "space/space.hpp"
+
+namespace gptc::apps {
+
+struct NimrodConfig {
+  int nsup = 128;
+  int nrel = 20;
+  int nbx = 1;  // assembly blocking 2^nbx
+  int nby = 1;
+  int npz = 0;  // 2^npz z-layers in the SuperLU 3-D grid
+};
+
+struct NimrodTask {
+  int mx = 5;
+  int my = 7;
+  int lphi = 1;
+
+  int mesh_x() const { return 1 << mx; }
+  int mesh_y() const { return 1 << my; }
+  int fourier_modes() const { return (1 << lphi) / 3 + 1; }
+};
+
+class NimrodSim {
+ public:
+  /// `steps`: time steps in the main loop (the paper fixes 30).
+  NimrodSim(const hpcsim::MachineModel& machine, int nodes,
+            std::uint64_t noise_seed = 3, int steps = 30);
+
+  /// Wall time of the time-marching loop; NaN when a SuperLU 3-D layer
+  /// does not fit in per-rank memory (OOM failure).
+  double run_time(const NimrodTask& task, const NimrodConfig& config) const;
+
+ private:
+  const SuperluDistSim& solver_for(const NimrodTask& task) const;
+
+  hpcsim::MachineModel machine_;
+  int nodes_;
+  std::uint64_t noise_seed_;
+  int steps_;
+  mutable std::map<std::pair<int, int>, std::unique_ptr<SuperluDistSim>>
+      solver_cache_;
+};
+
+/// TuningProblem of Table III over a fixed machine/node allocation.
+space::TuningProblem make_nimrod_problem(const hpcsim::MachineModel& machine,
+                                         int nodes,
+                                         std::uint64_t noise_seed = 3);
+
+}  // namespace gptc::apps

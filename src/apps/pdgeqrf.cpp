@@ -1,0 +1,151 @@
+#include "apps/pdgeqrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gptc::apps {
+
+namespace {
+
+/// DGEMM efficiency as a function of the inner (panel) dimension: narrow
+/// updates are latency/bandwidth bound, wide ones approach peak, very wide
+/// blocks spill L2 and taper.
+double gemm_efficiency(double block) {
+  const double ramp = block / (block + 48.0);
+  const double cache = 1.0 / (1.0 + std::max(0.0, block - 384.0) / 384.0);
+  return ramp * cache;
+}
+
+}  // namespace
+
+double pdgeqrf_time(const hpcsim::MachineModel& machine, int nodes,
+                    std::int64_t m, std::int64_t n,
+                    const PdgeqrfConfig& config, std::uint64_t noise_seed) {
+  if (m <= 0 || n <= 0) throw std::invalid_argument("pdgeqrf_time: bad size");
+  if (config.mb < 1 || config.nb < 1 || config.lg2npernode < 0 ||
+      config.p < 1)
+    throw std::invalid_argument("pdgeqrf_time: bad config");
+
+  hpcsim::Allocation alloc;
+  alloc.machine = machine;
+  alloc.nodes = nodes;
+  alloc.ranks_per_node =
+      std::min(1 << config.lg2npernode, machine.cores_per_node);
+  const int total_ranks = alloc.total_ranks();
+
+  // Grid: pr rows, pc = floor(P / pr) columns; leftover ranks idle (that
+  // is what ScaLAPACK does when the grid does not use every rank).
+  const int pr = std::clamp(config.p, 1, total_ranks);
+  const int pc = std::max(total_ranks / pr, 1);
+  const int active = pr * pc;
+
+  // Threads per rank: unused cores help the per-rank DGEMM rate when fewer
+  // ranks than cores are launched (ScaLAPACK + threaded BLAS).
+  const double threads =
+      std::max(1.0, static_cast<double>(machine.cores_per_node) /
+                        alloc.ranks_per_node);
+
+  const double row_block = 8.0 * config.mb;
+  const double col_block = 8.0 * config.nb;
+
+  // Memory check: each rank stores ~ m*n/active doubles plus panel/work
+  // buffers.
+  const double bytes_per_rank =
+      8.0 * static_cast<double>(m) * static_cast<double>(n) / active +
+      8.0 * (static_cast<double>(m) / pr) * col_block * 4.0;
+  if (bytes_per_rank > alloc.mem_per_rank())
+    return std::numeric_limits<double>::quiet_NaN();
+
+  double compute = 0.0;
+  double comm = 0.0;
+  const double md = static_cast<double>(m);
+  const std::int64_t kmax = std::min(m, n);
+  // Walk the panel loop in column-block steps.
+  for (std::int64_t k = 0; k < kmax; k += static_cast<std::int64_t>(col_block)) {
+    const double rows_left = md - static_cast<double>(k);
+    const double cols_this = std::min<double>(col_block,
+                                              static_cast<double>(kmax - k));
+    const double cols_right = static_cast<double>(n - k) - cols_this;
+    if (rows_left <= 0.0) break;
+
+    // 1. Panel factorization: tall-skinny QR on the pr ranks owning the
+    //    panel column. Level-2-ish kernel: memory bound, row_block sets
+    //    the dlarfg/dlarf blocking granularity.
+    const double panel_flops = 2.0 * rows_left * cols_this * cols_this;
+    const double panel_eff = gemm_efficiency(std::min(row_block, cols_this));
+    const double panel_rate =
+        alloc.rank_flops(panel_eff, 0.35) * std::min(threads, 4.0);
+    compute += panel_flops / (panel_rate * pr);
+    // Per-column norm all-reduce down the process column.
+    comm += cols_this * alloc.allreduce_time(8.0, pr) / 4.0;
+
+    // 2. Broadcast the panel (V factors) along process rows, and form T.
+    const double panel_bytes = 8.0 * (rows_left / pr) * cols_this;
+    comm += alloc.broadcast_time(panel_bytes, pc);
+
+    if (cols_right > 0.0) {
+      // 3. Trailing-matrix update: (I - V T V^T) applied to the right
+      //    columns; two big GEMMs distributed over the whole grid.
+      const double update_flops = 4.0 * rows_left * cols_right * cols_this;
+      const double upd_eff = gemm_efficiency(cols_this) *
+                             (0.75 + 0.25 * gemm_efficiency(row_block));
+      const double upd_rate = alloc.rank_flops(upd_eff, 0.04) * threads;
+      compute += update_flops / (upd_rate * active);
+      // W = V^T C reduction along process columns.
+      comm += alloc.allreduce_time(8.0 * cols_this * (cols_right / pc), pr);
+    }
+  }
+
+  // Block-cyclic load imbalance: with few blocks per rank the edge ranks
+  // idle. blocks_per_rank_row ~ m/(row_block*pr).
+  const double blocks_row = md / (row_block * pr);
+  const double blocks_col = static_cast<double>(n) / (col_block * pc);
+  const double imbalance =
+      (1.0 + 0.5 / std::max(blocks_row, 0.5)) *
+      (1.0 + 0.5 / std::max(blocks_col, 0.5));
+
+  const double time = compute * imbalance + comm;
+  const std::uint64_t tag =
+      rng::splitmix64(static_cast<std::uint64_t>(config.mb) * 1000003ULL +
+                      static_cast<std::uint64_t>(config.nb) * 10007ULL +
+                      static_cast<std::uint64_t>(config.lg2npernode) * 101ULL +
+                      static_cast<std::uint64_t>(config.p)) ^
+      rng::splitmix64(static_cast<std::uint64_t>(m) * 31 +
+                      static_cast<std::uint64_t>(n));
+  return time * alloc.noise(noise_seed, tag);
+}
+
+space::TuningProblem make_pdgeqrf_problem(const hpcsim::MachineModel& machine,
+                                          int nodes,
+                                          std::uint64_t noise_seed) {
+  const int lg2cores =
+      static_cast<int>(std::round(std::log2(machine.cores_per_node)));
+  space::TuningProblem p;
+  p.name = "pdgeqrf";
+  p.task_space = space::Space({
+      space::Parameter::integer("m", 1000, 100000),
+      space::Parameter::integer("n", 1000, 100000),
+  });
+  p.param_space = space::Space({
+      space::Parameter::integer("mb", 1, 16),
+      space::Parameter::integer("nb", 1, 16),
+      space::Parameter::integer("lg2npernode", 0, lg2cores),
+      space::Parameter::integer(
+          "p", 1, static_cast<std::int64_t>(nodes) * machine.cores_per_node),
+  });
+  p.output_name = "runtime";
+  p.objective = [machine, nodes, noise_seed](const space::Config& task,
+                                             const space::Config& params) {
+    PdgeqrfConfig c;
+    c.mb = static_cast<int>(params[0].as_int());
+    c.nb = static_cast<int>(params[1].as_int());
+    c.lg2npernode = static_cast<int>(params[2].as_int());
+    c.p = static_cast<int>(params[3].as_int());
+    return pdgeqrf_time(machine, nodes, task[0].as_int(), task[1].as_int(),
+                        c, noise_seed);
+  };
+  return p;
+}
+
+}  // namespace gptc::apps

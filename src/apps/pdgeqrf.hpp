@@ -1,0 +1,43 @@
+// ScaLAPACK PDGEQRF simulator (paper Sec. VI-B, Table II).
+//
+// Models distributed Householder QR of an m x n matrix on a pr x pc
+// process grid with 2-D block-cyclic distribution. The simulation walks
+// the panel loop like the real routine, so the tuning parameters act
+// through the same mechanisms:
+//   mb, nb        — row/column block sizes (x8, per Table II): BLAS-3
+//                   efficiency vs pipeline granularity and latency count;
+//   lg2npernode   — MPI ranks per node (2^lg2npernode): parallelism vs
+//                   memory-bandwidth contention within a node;
+//   p             — process-grid rows (q = P/p): panel-factorization
+//                   parallelism vs broadcast group sizes and load balance.
+// Invalid layouts (p > available ranks) are clamped the way ScaLAPACK
+// users do; per-rank memory overflow returns NaN (failed run).
+#pragma once
+
+#include "hpcsim/machine.hpp"
+#include "space/space.hpp"
+
+namespace gptc::apps {
+
+struct PdgeqrfConfig {
+  int mb = 4;           // row block = 8 * mb
+  int nb = 4;           // column block = 8 * nb
+  int lg2npernode = 5;  // ranks per node = 2^lg2npernode
+  int p = 16;           // process grid rows
+};
+
+/// Simulated wall time of PDGEQRF(m, n) on `nodes` nodes of `machine`.
+/// Returns NaN if the distributed matrix does not fit in memory.
+double pdgeqrf_time(const hpcsim::MachineModel& machine, int nodes,
+                    std::int64_t m, std::int64_t n,
+                    const PdgeqrfConfig& config, std::uint64_t noise_seed);
+
+/// TuningProblem of Table II: tasks (m, n), parameters
+/// [mb, nb, lg2npernode, p]. Ranges follow the paper:
+/// mb, nb in [1, 16), lg2npernode in [0, log2(cores)), p in
+/// [1, nodes * cores).
+space::TuningProblem make_pdgeqrf_problem(const hpcsim::MachineModel& machine,
+                                          int nodes,
+                                          std::uint64_t noise_seed = 2);
+
+}  // namespace gptc::apps

@@ -1,0 +1,94 @@
+// SuperLU_DIST 2-D simulator (paper Sec. VI-D).
+//
+// Reproduces the tuning surface of SuperLU_DIST's numeric factorization:
+//   COLPERM    — fill-reducing ordering; drives fill and flops through the
+//                real orderings in src/sparse (dominant, as in Table IV);
+//   nprows     — process-grid shape (pr x pc = P/pr); drives communication
+//                volume and load balance (second most sensitive);
+//   NSUP       — max supernode width; drives BLAS-3 efficiency vs cache
+//                pressure (moderate);
+//   NREL       — relaxed-supernode size; small extra fill vs wider panels
+//                (weak);
+//   LOOKAHEAD  — pipeline depth; overlaps panel communication (weak).
+//
+// The cost model walks the actual supernode partition produced by the
+// symbolic phase, charging per-supernode panel/update flops and broadcast
+// costs on the process grid, with machine noise on top. Symbolic results
+// are cached per COLPERM (they do not depend on the other knobs).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hpcsim/machine.hpp"
+#include "space/space.hpp"
+#include "sparse/symbolic.hpp"
+
+namespace gptc::apps {
+
+struct SuperluConfig {
+  std::string colperm = "MMD_AT_PLUS_A";
+  int lookahead = 10;
+  int nprows = 1;
+  int nsup = 128;  // max supernode width (columns)
+  int nrel = 20;   // relaxation size
+};
+
+/// The COLPERM choices exposed to the tuner.
+const std::vector<std::string>& superlu_colperm_choices();
+
+class SuperluDistSim {
+ public:
+  SuperluDistSim(sparse::SparsityPattern pattern, std::uint64_t noise_seed);
+
+  /// Wall time of the distributed numeric factorization on the allocation.
+  /// Returns NaN when the per-rank memory estimate exceeds the machine's
+  /// (OOM failure).
+  double factor_time(const SuperluConfig& config,
+                     const hpcsim::Allocation& alloc) const;
+
+  /// Decomposed factorization cost on a process grid of `grid_ranks` ranks
+  /// (compute seconds, communication seconds, bytes per rank) with no noise
+  /// applied. This is what the NIMROD simulator composes into the SuperLU
+  /// 3-D cost model (the 2-D grid of each z-layer has P / 2^npz ranks).
+  struct FactorBreakdown {
+    double compute = 0.0;
+    double comm = 0.0;
+    double mem_per_rank = 0.0;
+    std::size_t supernodes = 0;
+  };
+  FactorBreakdown factor_breakdown(const SuperluConfig& config,
+                                   const hpcsim::Allocation& alloc,
+                                   int grid_ranks) const;
+
+  /// Wall time of one triangular solve (used by the NIMROD simulator's
+  /// preconditioner applications).
+  double solve_time(const SuperluConfig& config,
+                    const hpcsim::Allocation& alloc) const;
+
+  /// Estimated factor memory per rank (bytes) for OOM checks. `grid_ranks`
+  /// is the number of ranks holding one factor copy.
+  double memory_per_rank(const SuperluConfig& config, int grid_ranks) const;
+
+  const sparse::SparsityPattern& pattern() const { return pattern_; }
+
+  /// Cached symbolic analysis for one COLPERM.
+  const sparse::SymbolicFactor& symbolic(const std::string& colperm) const;
+
+ private:
+  sparse::SupernodePartition partition(const SuperluConfig& config) const;
+
+  sparse::SparsityPattern pattern_;
+  std::uint64_t noise_seed_;
+  mutable std::map<std::string, sparse::SymbolicFactor> symbolic_cache_;
+};
+
+/// TuningProblem for Fig. 6: tune [COLPERM, LOOKAHEAD, nprows, NSUP, NREL]
+/// for factorization time on the given allocation. The task space carries a
+/// matrix selector ("si5h12" / "h2o") so crowd records are grouped per
+/// matrix.
+space::TuningProblem make_superlu_problem(const hpcsim::Allocation& alloc,
+                                          std::uint64_t noise_seed = 1);
+
+}  // namespace gptc::apps

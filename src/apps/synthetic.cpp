@@ -1,0 +1,74 @@
+#include "apps/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gptc::apps {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+double demo_function(double t, double x) {
+  double s = 0.0;
+  for (int i = 1; i <= 3; ++i)
+    s += std::sin(kTwoPi * x * std::pow(t + 2.0, i));
+  return 1.0 + std::exp(-std::pow(x + 1.0, t + 1.0)) * std::cos(kTwoPi * x) * s;
+}
+
+double branin_function(double a, double b, double c, double r, double s,
+                       double t, double x1, double x2) {
+  const double u = x2 - b * x1 * x1 + c * x1 - r;
+  return a * u * u + s * (1.0 - t) * std::cos(x1) + s;
+}
+
+space::TuningProblem make_demo_problem() {
+  space::TuningProblem p;
+  p.name = "demo";
+  p.task_space = space::Space({space::Parameter::real("t", 0.0, 10.0)});
+  p.param_space = space::Space({space::Parameter::real("x", 0.0, 1.0)});
+  p.output_name = "y";
+  p.objective = [](const space::Config& task, const space::Config& params) {
+    return demo_function(task[0].as_double(), params[0].as_double());
+  };
+  return p;
+}
+
+space::TuningProblem make_branin_problem() {
+  space::TuningProblem p;
+  p.name = "branin";
+  // Standard constants: a=1, b=5.1/(4 pi^2)~0.1292, c=5/pi~1.5915, r=6,
+  // s=10, t=1/(8 pi)~0.0398. Ranges bracket them.
+  p.task_space = space::Space({
+      space::Parameter::real("a", 0.5, 1.5),
+      space::Parameter::real("b", 0.08, 0.2),
+      space::Parameter::real("c", 1.0, 2.2),
+      space::Parameter::real("r", 4.0, 8.0),
+      space::Parameter::real("s", 5.0, 15.0),
+      space::Parameter::real("t", 0.02, 0.06),
+  });
+  p.param_space = space::Space({
+      space::Parameter::real("x1", -5.0, 10.0),
+      space::Parameter::real("x2", 0.0, 15.0),
+  });
+  p.output_name = "y";
+  p.objective = [](const space::Config& task, const space::Config& params) {
+    return branin_function(task[0].as_double(), task[1].as_double(),
+                           task[2].as_double(), task[3].as_double(),
+                           task[4].as_double(), task[5].as_double(),
+                           params[0].as_double(), params[1].as_double());
+  };
+  return p;
+}
+
+space::Config branin_standard_task() {
+  const double pi = std::numbers::pi;
+  return {space::Value(1.0),
+          space::Value(5.1 / (4.0 * pi * pi)),
+          space::Value(5.0 / pi),
+          space::Value(6.0),
+          space::Value(10.0),
+          space::Value(1.0 / (8.0 * pi))};
+}
+
+}  // namespace gptc::apps

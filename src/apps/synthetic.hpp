@@ -1,0 +1,43 @@
+// The paper's two synthetic tuning problems (Sec. VI-A):
+//
+//  * the GPTune "demo" function
+//        y(t, x) = 1 + e^{-(x+1)^{t+1}} cos(2 pi x)
+//                    * sum_{i=1..3} sin(2 pi x (t+2)^i)
+//    with one task parameter t in [0, 10) and one tuning parameter
+//    x in [0, 1);
+//
+//  * the Branin function
+//        y = a (x2 - b x1^2 + c x1 - r)^2 + s (1 - t) cos(x1) + s
+//    with six task parameters (a, b, c, r, s, t) around the standard
+//    Branin constants and two tuning parameters x1 in [-5, 10),
+//    x2 in [0, 15).
+//
+// These are cheap, deterministic, and strongly task-correlated — exactly
+// what Fig. 3's TLA algorithm comparison needs.
+#pragma once
+
+#include "space/space.hpp"
+
+namespace gptc::apps {
+
+/// Direct evaluation of the demo function.
+double demo_function(double t, double x);
+
+/// Direct evaluation of the Branin function.
+double branin_function(double a, double b, double c, double r, double s,
+                       double t, double x1, double x2);
+
+/// TuningProblem wrapper for the demo function.
+space::TuningProblem make_demo_problem();
+
+/// TuningProblem wrapper for the Branin task family. Task parameter ranges
+/// bracket the standard Branin constants (+/- ~25%), so randomly drawn
+/// source/target tasks (the paper's S1–S3 / T1–T2) are correlated variants
+/// of the same landscape.
+space::TuningProblem make_branin_problem();
+
+/// The standard Branin constants, as a task configuration for
+/// make_branin_problem's task space: {a, b, c, r, s, t}.
+space::Config branin_standard_task();
+
+}  // namespace gptc::apps

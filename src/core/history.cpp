@@ -1,0 +1,68 @@
+#include "core/history.hpp"
+
+#include <cmath>
+
+namespace gptc::core {
+
+bool EvalRecord::failed() const { return !std::isfinite(output); }
+
+std::size_t TaskHistory::num_valid() const {
+  std::size_t n = 0;
+  for (const auto& e : evals_)
+    if (!e.failed()) ++n;
+  return n;
+}
+
+void TaskHistory::add(space::Config params, double output) {
+  evals_.push_back(EvalRecord{std::move(params), output});
+}
+
+bool TaskHistory::contains(const space::Config& params) const {
+  for (const auto& e : evals_) {
+    if (e.params.size() != params.size()) continue;
+    bool same = true;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!(e.params[i] == params[i])) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return true;
+  }
+  return false;
+}
+
+std::optional<double> TaskHistory::best_output() const {
+  std::optional<double> best;
+  for (const auto& e : evals_)
+    if (!e.failed() && (!best || e.output < *best)) best = e.output;
+  return best;
+}
+
+std::optional<space::Config> TaskHistory::best_config() const {
+  std::optional<double> best;
+  std::optional<space::Config> config;
+  for (const auto& e : evals_) {
+    if (!e.failed() && (!best || e.output < *best)) {
+      best = e.output;
+      config = e.params;
+    }
+  }
+  return config;
+}
+
+TrainingData TaskHistory::valid_data(const space::Space& param_space) const {
+  std::vector<la::Vector> rows;
+  std::vector<double> ys;
+  for (const auto& e : evals_) {
+    if (e.failed()) continue;
+    rows.push_back(param_space.encode(e.params));
+    ys.push_back(e.output);
+  }
+  TrainingData d;
+  d.x = la::Matrix::from_rows(rows);
+  d.y = la::Vector(ys.begin(), ys.end());
+  return d;
+}
+
+}  // namespace gptc::core

@@ -1,0 +1,66 @@
+// Evaluation history of a tuning task.
+//
+// A TaskHistory is the in-memory form of the shared database's function-
+// evaluation records for one (problem, task) pair: the task configuration,
+// plus every (tuning configuration, output) pair measured so far. Failed
+// evaluations (NaN output — e.g. the out-of-memory runs in the paper's
+// NIMROD experiment) are kept in the record for the database but excluded
+// from surrogate fitting via valid_data().
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "space/space.hpp"
+
+namespace gptc::core {
+
+struct EvalRecord {
+  space::Config params;
+  double output = std::numeric_limits<double>::quiet_NaN();
+
+  bool failed() const;
+};
+
+/// (X, y) matrices of the successful evaluations, encoded into the unit
+/// cube of the given parameter space.
+struct TrainingData {
+  la::Matrix x;
+  la::Vector y;
+
+  std::size_t size() const { return y.size(); }
+};
+
+class TaskHistory {
+ public:
+  TaskHistory() = default;
+  explicit TaskHistory(space::Config task) : task_(std::move(task)) {}
+
+  const space::Config& task() const { return task_; }
+  const std::vector<EvalRecord>& evals() const { return evals_; }
+  std::size_t size() const { return evals_.size(); }
+
+  /// Number of successful (finite-output) evaluations.
+  std::size_t num_valid() const;
+
+  void add(space::Config params, double output);
+
+  /// True if `params` was already evaluated (exact configuration match).
+  bool contains(const space::Config& params) const;
+
+  /// Best (minimum) output over successful evaluations, or nullopt.
+  std::optional<double> best_output() const;
+  std::optional<space::Config> best_config() const;
+
+  /// Encoded successful evaluations for surrogate fitting.
+  TrainingData valid_data(const space::Space& param_space) const;
+
+ private:
+  space::Config task_;
+  std::vector<EvalRecord> evals_;
+};
+
+}  // namespace gptc::core

@@ -1,0 +1,178 @@
+#include "crowd/envparse.hpp"
+
+#include <cctype>
+
+namespace gptc::crowd {
+
+std::vector<int> parse_version(std::string_view text) {
+  std::vector<int> parts;
+  std::size_t i = 0;
+  while (i < text.size() && parts.size() < 4) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) break;
+    int v = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      v = v * 10 + (text[i] - '0');
+      ++i;
+    }
+    parts.push_back(v);
+    if (i < text.size() && text[i] == '.')
+      ++i;
+    else
+      break;
+  }
+  return parts;
+}
+
+int compare_versions(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int av = i < a.size() ? a[i] : 0;
+    const int bv = i < b.size() ? b[i] : 0;
+    if (av != bv) return av < bv ? -1 : 1;
+  }
+  return 0;
+}
+
+bool version_in_range(const std::vector<int>& v, const std::vector<int>& from,
+                      const std::vector<int>& to) {
+  if (!from.empty() && compare_versions(v, from) < 0) return false;
+  if (!to.empty() && compare_versions(v, to) > 0) return false;
+  return true;
+}
+
+json::Json SpackSpec::to_json() const {
+  json::Json j = json::Json::object();
+  j["name"] = name;
+  json::Json ver = json::Json::array();
+  for (int v : version) ver.push_back(std::int64_t{v});
+  j["version"] = std::move(ver);
+  if (!compiler.empty()) {
+    json::Json c = json::Json::object();
+    c["name"] = compiler;
+    json::Json cv = json::Json::array();
+    for (int v : compiler_version) cv.push_back(std::int64_t{v});
+    c["version"] = std::move(cv);
+    j["compiler"] = std::move(c);
+  }
+  if (!variants.empty()) {
+    json::Json vs = json::Json::array();
+    for (const auto& v : variants) vs.push_back(v);
+    j["variants"] = std::move(vs);
+  }
+  if (!arch.empty()) j["arch"] = arch;
+  return j;
+}
+
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == '.';
+}
+
+std::string_view take_while(std::string_view& s, bool (*pred)(char)) {
+  std::size_t n = 0;
+  while (n < s.size() && pred(s[n])) ++n;
+  const std::string_view token = s.substr(0, n);
+  s.remove_prefix(n);
+  return token;
+}
+
+}  // namespace
+
+std::optional<SpackSpec> parse_spack_spec(std::string_view line) {
+  // Trim whitespace.
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front())))
+    line.remove_prefix(1);
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+    line.remove_suffix(1);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+
+  SpackSpec spec;
+  spec.name = std::string(take_while(line, is_name_char));
+  if (spec.name.empty()) return std::nullopt;
+
+  while (!line.empty()) {
+    const char c = line.front();
+    if (c == '@') {
+      line.remove_prefix(1);
+      spec.version = parse_version(take_while(line, is_name_char));
+    } else if (c == '%') {
+      line.remove_prefix(1);
+      // compiler name up to '@'
+      std::string comp;
+      while (!line.empty() && is_name_char(line.front()) &&
+             line.front() != '@') {
+        // '@' is not a name char, so this loop is just take_while
+        comp += line.front();
+        line.remove_prefix(1);
+      }
+      spec.compiler = comp;
+      if (!line.empty() && line.front() == '@') {
+        line.remove_prefix(1);
+        spec.compiler_version = parse_version(take_while(line, is_name_char));
+      }
+    } else if (c == '+' || c == '~') {
+      line.remove_prefix(1);
+      std::string v(1, c);
+      v += std::string(take_while(line, is_name_char));
+      if (v.size() > 1) spec.variants.push_back(std::move(v));
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      line.remove_prefix(1);
+    } else if (line.starts_with("arch=")) {
+      line.remove_prefix(5);
+      spec.arch = std::string(take_while(line, is_name_char));
+    } else {
+      // Unknown token (e.g. ^dependency): skip to next whitespace.
+      while (!line.empty() &&
+             !std::isspace(static_cast<unsigned char>(line.front())))
+        line.remove_prefix(1);
+    }
+  }
+  return spec;
+}
+
+json::Json parse_spack_manifest(std::string_view text) {
+  json::Json out = json::Json::object();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, nl == std::string_view::npos ? nl : nl - start);
+    if (const auto spec = parse_spack_spec(line)) {
+      out[spec->name] = spec->to_json();
+      if (!spec->compiler.empty() && !out.contains(spec->compiler)) {
+        SpackSpec comp;
+        comp.name = spec->compiler;
+        comp.version = spec->compiler_version;
+        out[comp.name] = comp.to_json();
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return out;
+}
+
+json::Json parse_slurm_env(const std::map<std::string, std::string>& env) {
+  json::Json j = json::Json::object();
+  const auto get = [&](const char* key) -> const std::string* {
+    const auto it = env.find(key);
+    return it == env.end() ? nullptr : &it->second;
+  };
+  if (const auto* v = get("SLURM_CLUSTER_NAME")) j["machine_name"] = *v;
+  if (const auto* v = get("SLURM_JOB_PARTITION")) j["partition"] = *v;
+  if (const auto* v = get("SLURM_JOB_NUM_NODES")) {
+    const auto ver = parse_version(*v);
+    if (!ver.empty()) j["nodes"] = std::int64_t{ver[0]};
+  }
+  if (const auto* v = get("SLURM_CPUS_ON_NODE")) {
+    const auto ver = parse_version(*v);
+    if (!ver.empty()) j["cores"] = std::int64_t{ver[0]};
+  }
+  if (const auto* v = get("SLURM_JOB_ID")) j["job_id"] = *v;
+  j["scheduler"] = "slurm";
+  return j;
+}
+
+}  // namespace gptc::crowd

@@ -1,0 +1,62 @@
+// Automatic runtime-environment parsing (paper Sec. III / IV-A).
+//
+// GPTuneCrowd records the machine and software configuration of every
+// performance sample so that crowd data is reproducible and queryable.
+// Hand-written descriptions are error-prone, so the paper parses them from
+// the HPC environment automatically: Spack spec strings for software and
+// SLURM_* environment variables for the job's machine allocation. These
+// parsers accept the same formats; tests feed them synthetic fixtures.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace gptc::crowd {
+
+/// "9.3.0" -> {9, 3, 0}. Tolerates 1–4 numeric components and ignores
+/// trailing non-numeric suffixes ("3.11.2-rc1" -> {3, 11, 2}).
+std::vector<int> parse_version(std::string_view text);
+
+/// Lexicographic comparison, missing components treated as 0:
+/// negative/zero/positive like strcmp.
+int compare_versions(const std::vector<int>& a, const std::vector<int>& b);
+
+/// from <= v <= to, with empty bounds meaning unconstrained.
+bool version_in_range(const std::vector<int>& v, const std::vector<int>& from,
+                      const std::vector<int>& to);
+
+/// One parsed Spack spec: name@version%compiler@cversion±variants arch=...
+struct SpackSpec {
+  std::string name;
+  std::vector<int> version;
+  std::string compiler;
+  std::vector<int> compiler_version;
+  std::vector<std::string> variants;  // with leading +/~
+  std::string arch;
+
+  json::Json to_json() const;
+};
+
+/// Parses a single Spack spec string, e.g.
+/// "superlu-dist@7.2.0%gcc@9.3.0+openmp~cuda arch=cray-cnl7-haswell".
+/// Returns nullopt for lines that do not look like a spec.
+std::optional<SpackSpec> parse_spack_spec(std::string_view line);
+
+/// Parses a multi-line `spack find`-style manifest (comments with '#',
+/// blank lines ignored) into a software_configuration object:
+/// {"superlu-dist": {"version": [7,2,0], ...}, "gcc": {...}}.
+/// Compilers referenced by %... are recorded as software entries too.
+json::Json parse_spack_manifest(std::string_view text);
+
+/// Extracts a machine_configuration object from SLURM_* environment
+/// variables (SLURM_CLUSTER_NAME, SLURM_JOB_PARTITION,
+/// SLURM_JOB_NUM_NODES, SLURM_CPUS_ON_NODE, SLURM_JOB_ID). Missing keys are
+/// simply omitted from the result.
+json::Json parse_slurm_env(const std::map<std::string, std::string>& env);
+
+}  // namespace gptc::crowd

@@ -1,0 +1,172 @@
+#include "crowd/meta.hpp"
+
+#include <stdexcept>
+
+namespace gptc::crowd {
+
+namespace {
+
+using json::Json;
+
+void parse_range(const Json& j, std::optional<std::int64_t>& lo,
+                 std::optional<std::int64_t>& hi) {
+  if (j.is_number()) {
+    lo = j.as_int();
+    hi = j.as_int();
+  } else if (j.is_array() && j.size() == 2) {
+    lo = j.at(std::size_t{0}).as_int();
+    hi = j.at(std::size_t{1}).as_int();
+  } else {
+    throw json::JsonError(
+        "machine filter: expected number or [min, max] pair");
+  }
+}
+
+std::vector<MachineFilter> parse_machine_filters(const Json& arr) {
+  // Schema: [{"Cori": {"haswell": {"nodes": 1, "cores": 32}}}, ...]
+  std::vector<MachineFilter> filters;
+  for (const auto& entry : arr.as_array()) {
+    for (const auto& [machine, partitions] : entry.as_object()) {
+      if (!partitions.is_object() || partitions.as_object().empty()) {
+        MachineFilter f;
+        f.machine_name = machine;
+        filters.push_back(std::move(f));
+        continue;
+      }
+      for (const auto& [partition, limits] : partitions.as_object()) {
+        MachineFilter f;
+        f.machine_name = machine;
+        f.partition = partition;
+        if (limits.contains("nodes"))
+          parse_range(limits.at("nodes"), f.nodes_min, f.nodes_max);
+        if (limits.contains("cores"))
+          parse_range(limits.at("cores"), f.cores_min, f.cores_max);
+        filters.push_back(std::move(f));
+      }
+    }
+  }
+  return filters;
+}
+
+std::vector<SoftwareFilter> parse_software_filters(const Json& arr) {
+  // Schema: [{"gcc": {"version_from": [8,0,0], "version_to": [9,0,0]}}]
+  std::vector<SoftwareFilter> filters;
+  for (const auto& entry : arr.as_array()) {
+    for (const auto& [name, cond] : entry.as_object()) {
+      SoftwareFilter f;
+      f.name = name;
+      const auto read_version = [&](const char* key, std::vector<int>& out) {
+        if (!cond.contains(key)) return;
+        for (const auto& part : cond.at(key).as_array())
+          out.push_back(static_cast<int>(part.as_int()));
+      };
+      read_version("version_from", f.version_from);
+      read_version("version_to", f.version_to);
+      filters.push_back(std::move(f));
+    }
+  }
+  return filters;
+}
+
+}  // namespace
+
+MetaDescription MetaDescription::from_json(const Json& j) {
+  MetaDescription m;
+  m.api_key = j.get_or("api_key", Json("")).as_string();
+  m.tuning_problem_name =
+      j.at("tuning_problem_name").as_string();
+
+  if (j.contains("problem_space")) {
+    const Json& ps = j.at("problem_space");
+    if (ps.contains("input_space"))
+      m.input_space = space::Space::from_json(ps.at("input_space"));
+    if (ps.contains("parameter_space"))
+      m.parameter_space = space::Space::from_json(ps.at("parameter_space"));
+    if (ps.contains("output_space") && ps.at("output_space").size() > 0)
+      m.output_name =
+          ps.at("output_space").at(std::size_t{0}).at("name").as_string();
+  }
+  if (j.contains("configuration_space")) {
+    const Json& cs = j.at("configuration_space");
+    if (cs.contains("machine_configurations"))
+      m.machine_filters =
+          parse_machine_filters(cs.at("machine_configurations"));
+    if (cs.contains("software_configurations"))
+      m.software_filters =
+          parse_software_filters(cs.at("software_configurations"));
+    if (cs.contains("user_configurations"))
+      for (const auto& u : cs.at("user_configurations").as_array())
+        m.user_filters.push_back(u.as_string());
+  }
+  m.machine_configuration =
+      j.get_or("machine_configuration", Json::object());
+  m.software_configuration =
+      j.get_or("software_configuration", Json::object());
+  m.sync_crowd_repo =
+      j.get_or("sync_crowd_repo", Json("no")).as_string() == "yes";
+  return m;
+}
+
+json::Json MetaDescription::to_json() const {
+  Json j = Json::object();
+  j["api_key"] = api_key;
+  j["tuning_problem_name"] = tuning_problem_name;
+
+  Json ps = Json::object();
+  ps["input_space"] = input_space.to_json();
+  ps["parameter_space"] = parameter_space.to_json();
+  Json out_space = Json::array();
+  Json out = Json::object();
+  out["name"] = output_name;
+  out["type"] = "real";
+  out_space.push_back(std::move(out));
+  ps["output_space"] = std::move(out_space);
+  j["problem_space"] = std::move(ps);
+
+  Json cs = Json::object();
+  Json machines = Json::array();
+  for (const auto& f : machine_filters) {
+    Json limits = Json::object();
+    const auto range = [](std::optional<std::int64_t> lo,
+                          std::optional<std::int64_t> hi) {
+      Json r = Json::array();
+      r.push_back(lo.value());
+      r.push_back(hi.value());
+      return r;
+    };
+    if (f.nodes_min) limits["nodes"] = range(f.nodes_min, f.nodes_max);
+    if (f.cores_min) limits["cores"] = range(f.cores_min, f.cores_max);
+    Json partition = Json::object();
+    partition[f.partition.empty() ? "any" : f.partition] = std::move(limits);
+    Json machine = Json::object();
+    machine[f.machine_name] = std::move(partition);
+    machines.push_back(std::move(machine));
+  }
+  cs["machine_configurations"] = std::move(machines);
+  Json softwares = Json::array();
+  for (const auto& f : software_filters) {
+    Json cond = Json::object();
+    const auto ver = [](const std::vector<int>& v) {
+      Json a = Json::array();
+      for (int x : v) a.push_back(std::int64_t{x});
+      return a;
+    };
+    if (!f.version_from.empty()) cond["version_from"] = ver(f.version_from);
+    if (!f.version_to.empty()) cond["version_to"] = ver(f.version_to);
+    Json sw = Json::object();
+    sw[f.name] = std::move(cond);
+    softwares.push_back(std::move(sw));
+  }
+  cs["software_configurations"] = std::move(softwares);
+  Json users = Json::array();
+  for (const auto& u : user_filters) users.push_back(u);
+  cs["user_configurations"] = std::move(users);
+  j["configuration_space"] = std::move(cs);
+
+  j["machine_configuration"] = machine_configuration;
+  j["software_configuration"] = software_configuration;
+  j["sync_crowd_repo"] = sync_crowd_repo ? "yes" : "no";
+  return j;
+}
+
+}  // namespace gptc::crowd

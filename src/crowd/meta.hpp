@@ -1,0 +1,61 @@
+// The tuner-facing meta description (paper Sec. IV-A).
+//
+// A user describes the tuning problem once — API key, problem name, the
+// problem_space to query, the configuration_space restricting which crowd
+// data to trust, and their own machine/software configuration to record —
+// and the crowd layer turns that into database queries and upload stamps.
+// The JSON schema is the paper's code-snippet schema verbatim.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "space/space.hpp"
+
+namespace gptc::crowd {
+
+/// One machine filter from configuration_space, e.g. parsed from
+/// {"Cori": {"haswell": {"nodes": 1, "cores": 32}}}. Numeric fields may be
+/// an exact value or a [min, max] pair (inclusive).
+struct MachineFilter {
+  std::string machine_name;
+  std::string partition;            // empty = any
+  std::optional<std::int64_t> nodes_min, nodes_max;
+  std::optional<std::int64_t> cores_min, cores_max;
+};
+
+/// One software filter, e.g. {"gcc": {"version_from": [8,0,0],
+/// "version_to": [9,0,0]}}.
+struct SoftwareFilter {
+  std::string name;
+  std::vector<int> version_from;  // empty = unconstrained
+  std::vector<int> version_to;
+};
+
+struct MetaDescription {
+  std::string api_key;
+  std::string tuning_problem_name;
+
+  /// Query ranges for task and tuning parameters (problem_space).
+  space::Space input_space;
+  space::Space parameter_space;
+  std::string output_name = "runtime";
+
+  /// configuration_space filters; empty vectors mean "no restriction".
+  std::vector<MachineFilter> machine_filters;
+  std::vector<SoftwareFilter> software_filters;
+  std::vector<std::string> user_filters;
+
+  /// The user's own environment, recorded on upload.
+  json::Json machine_configuration = json::Json::object();
+  json::Json software_configuration = json::Json::object();
+  bool sync_crowd_repo = false;
+
+  /// Parses the paper's meta-description JSON schema.
+  static MetaDescription from_json(const json::Json& j);
+  json::Json to_json() const;
+};
+
+}  // namespace gptc::crowd

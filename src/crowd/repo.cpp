@@ -1,0 +1,479 @@
+#include "crowd/repo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "crowd/envparse.hpp"
+#include "crowd/query_language.hpp"
+
+namespace gptc::crowd {
+
+using json::Json;
+
+json::Json Accessibility::to_json() const {
+  switch (level) {
+    case Level::Public: return Json("public");
+    case Level::Private: return Json("private");
+    case Level::Shared: {
+      Json j = Json::object();
+      Json list = Json::array();
+      for (const auto& u : shared_with) list.push_back(u);
+      j["shared_with"] = std::move(list);
+      return j;
+    }
+  }
+  return Json("public");
+}
+
+Accessibility Accessibility::from_json(const Json& j) {
+  Accessibility a;
+  if (j.is_string()) {
+    a.level = j.as_string() == "private" ? Level::Private : Level::Public;
+  } else if (j.is_object() && j.contains("shared_with")) {
+    a.level = Level::Shared;
+    for (const auto& u : j.at("shared_with").as_array())
+      a.shared_with.push_back(u.as_string());
+  }
+  return a;
+}
+
+SharedRepo::SharedRepo(std::uint64_t seed)
+    : key_rng_(rng::splitmix64(seed ^ 0x243f6a8885a308d3ULL)) {
+  // Seed the alias databases with the machines/software the paper's
+  // experiments use; deployments add their own via add_*_alias.
+  add_machine_alias("Cori", {"cori", "cori-nersc", "CoriHaswell"});
+  add_software_alias("gcc", {"GCC", "gnu-gcc"});
+  add_software_alias("cray-mpich", {"CrayMPICH", "craympich"});
+  add_software_alias("scalapack", {"ScaLAPACK"});
+  add_software_alias("superlu-dist", {"SuperLU_DIST", "superlu_dist"});
+  add_software_alias("hypre", {"Hypre", "HYPRE"});
+  add_software_alias("nimrod", {"NIMROD"});
+}
+
+std::string SharedRepo::generate_api_key() {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  // Salt the stream with persistent store state (how many keys exist), so a
+  // reloaded repository never re-mints a previously issued key: without
+  // this, two `crowdctl register` runs against the same directory would
+  // derive identical keys from the freshly seeded generator.
+  const auto* keys = store_.find_collection("api_keys");
+  rng::Rng stream =
+      key_rng_.split(keys ? static_cast<std::uint64_t>(keys->size()) : 0);
+  std::string key(20, '\0');
+  for (char& c : key)
+    c = kAlphabet[static_cast<std::size_t>(
+        stream.uniform_int(0, sizeof(kAlphabet) - 2))];
+  return key;
+}
+
+std::string SharedRepo::register_user(const std::string& username,
+                                      const std::string& email) {
+  auto& users = store_.collection("users");
+  Json q = Json::object();
+  q["username"] = username;
+  if (users.count(q) > 0)
+    throw std::invalid_argument("register_user: username taken: " + username);
+  Json doc = Json::object();
+  doc["username"] = username;
+  doc["email"] = email;
+  users.insert(std::move(doc));
+  return issue_api_key(username);
+}
+
+std::string SharedRepo::issue_api_key(const std::string& username) {
+  auto& users = store_.collection("users");
+  Json q = Json::object();
+  q["username"] = username;
+  if (users.count(q) == 0)
+    throw std::invalid_argument("issue_api_key: unknown user: " + username);
+  const std::string key = generate_api_key();
+  Json doc = Json::object();
+  doc["username"] = username;
+  // Only the hash is stored; the plaintext key exists solely in the return
+  // value, mirroring the website's show-once behaviour.
+  doc["key_hash"] = std::to_string(rng::hash_tag(key));
+  doc["revoked"] = false;
+  store_.collection("api_keys").insert(std::move(doc));
+  return key;
+}
+
+std::optional<std::string> SharedRepo::authenticate(
+    const std::string& api_key) const {
+  const auto* keys = store_.find_collection("api_keys");
+  if (!keys) return std::nullopt;
+  Json q = Json::object();
+  q["key_hash"] = std::to_string(rng::hash_tag(api_key));
+  q["revoked"] = false;
+  const Json doc = keys->find_one(q);
+  if (doc.is_null()) return std::nullopt;
+  return doc.at("username").as_string();
+}
+
+bool SharedRepo::revoke_api_key(const std::string& api_key) {
+  Json q = Json::object();
+  q["key_hash"] = std::to_string(rng::hash_tag(api_key));
+  q["revoked"] = false;
+  Json upd = Json::object();
+  upd["revoked"] = true;
+  return store_.collection("api_keys").update(q, upd) > 0;
+}
+
+std::size_t SharedRepo::num_users() const {
+  const auto* users = store_.find_collection("users");
+  return users ? users->size() : 0;
+}
+
+void SharedRepo::add_machine_alias(const std::string& canonical,
+                                   const std::vector<std::string>& aliases) {
+  Json doc = Json::object();
+  doc["canonical"] = canonical;
+  Json list = Json::array();
+  for (const auto& a : aliases) list.push_back(a);
+  doc["aliases"] = std::move(list);
+  store_.collection("machines").insert(std::move(doc));
+}
+
+void SharedRepo::add_software_alias(const std::string& canonical,
+                                    const std::vector<std::string>& aliases) {
+  Json doc = Json::object();
+  doc["canonical"] = canonical;
+  Json list = Json::array();
+  for (const auto& a : aliases) list.push_back(a);
+  doc["aliases"] = std::move(list);
+  store_.collection("software").insert(std::move(doc));
+}
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string normalize_with(const db::Collection* table,
+                           const std::string& tag) {
+  if (!table) return tag;
+  const std::string needle = lower(tag);
+  for (const auto& doc : table->all()) {
+    if (lower(doc.at("canonical").as_string()) == needle)
+      return doc.at("canonical").as_string();
+    for (const auto& alias : doc.at("aliases").as_array())
+      if (lower(alias.as_string()) == needle)
+        return doc.at("canonical").as_string();
+  }
+  return tag;
+}
+
+}  // namespace
+
+std::string SharedRepo::normalize_machine(const std::string& tag) const {
+  return normalize_with(store_.find_collection("machines"), tag);
+}
+
+std::string SharedRepo::normalize_software(const std::string& tag) const {
+  return normalize_with(store_.find_collection("software"), tag);
+}
+
+std::string SharedRepo::require_user(const std::string& api_key) const {
+  const auto user = authenticate(api_key);
+  if (!user) throw std::invalid_argument("invalid API key");
+  return *user;
+}
+
+std::int64_t SharedRepo::upload(const std::string& api_key,
+                                const std::string& problem_name,
+                                const EvalUpload& e) {
+  const std::string user = require_user(api_key);
+
+  Json record = Json::object();
+  record["problem"] = problem_name;
+  record["user"] = user;
+  record["accessibility"] = e.accessibility.to_json();
+  record["task_parameters"] = e.task_parameters;
+  record["tuning_parameters"] = e.tuning_parameters;
+  Json out = Json::object();
+  out[e.output_name] =
+      std::isfinite(e.output) ? Json(e.output) : Json(nullptr);
+  record["output"] = std::move(out);
+
+  // Normalize machine/software tags before storing (Sec. III: "the shared
+  // database internally parses the user provided information to match the
+  // tag names").
+  Json machine = e.machine_configuration;
+  if (machine.contains("machine_name"))
+    machine["machine_name"] =
+        normalize_machine(machine.at("machine_name").as_string());
+  record["machine_configuration"] = std::move(machine);
+
+  Json software = Json::object();
+  if (e.software_configuration.is_object()) {
+    for (const auto& [name, spec] : e.software_configuration.as_object())
+      software[normalize_software(name)] = spec;
+  }
+  record["software_configuration"] = std::move(software);
+
+  return store_.collection("func_eval").insert(std::move(record));
+}
+
+bool SharedRepo::record_visible(const Json& record,
+                                const std::string& username) const {
+  const Accessibility acc =
+      Accessibility::from_json(record.get_or("accessibility", Json("public")));
+  if (acc.level == Accessibility::Level::Public) return true;
+  if (record.get_or("user", Json("")).as_string() == username) return true;
+  if (acc.level == Accessibility::Level::Shared)
+    return std::find(acc.shared_with.begin(), acc.shared_with.end(),
+                     username) != acc.shared_with.end();
+  return false;
+}
+
+bool SharedRepo::record_matches_meta(const Json& record,
+                                     const MetaDescription& meta) const {
+  // Problem name.
+  if (record.get_or("problem", Json("")).as_string() !=
+      meta.tuning_problem_name)
+    return false;
+
+  // problem_space ranges: every declared task/tuning parameter must be
+  // present and inside the queried range.
+  const auto check_space = [&](const space::Space& sp, const char* field) {
+    const Json* params = db::lookup_path(record, field);
+    if (sp.dim() == 0) return true;
+    if (!params) return false;
+    for (const auto& p : sp.params()) {
+      if (!params->contains(p.name())) return false;
+      if (!p.contains(params->at(p.name()))) return false;
+    }
+    return true;
+  };
+  if (!check_space(meta.input_space, "task_parameters")) return false;
+  if (!check_space(meta.parameter_space, "tuning_parameters")) return false;
+
+  // Machine filters (any-of).
+  if (!meta.machine_filters.empty()) {
+    const Json* mc = db::lookup_path(record, "machine_configuration");
+    bool any = false;
+    for (const auto& f : meta.machine_filters) {
+      if (!mc) break;
+      if (normalize_machine(
+              mc->get_or("machine_name", Json("")).as_string()) !=
+          normalize_machine(f.machine_name))
+        continue;
+      if (!f.partition.empty() &&
+          lower(mc->get_or("partition", Json("")).as_string()) !=
+              lower(f.partition))
+        continue;
+      const auto in_range = [&](const char* key,
+                                std::optional<std::int64_t> lo,
+                                std::optional<std::int64_t> hi) {
+        if (!lo && !hi) return true;
+        if (!mc->contains(key)) return false;
+        const std::int64_t v = mc->at(key).as_int();
+        if (lo && v < *lo) return false;
+        if (hi && v > *hi) return false;
+        return true;
+      };
+      if (!in_range("nodes", f.nodes_min, f.nodes_max)) continue;
+      if (!in_range("cores", f.cores_min, f.cores_max)) continue;
+      any = true;
+      break;
+    }
+    if (!any) return false;
+  }
+
+  // Software filters (all must be satisfied).
+  for (const auto& f : meta.software_filters) {
+    const Json* sc = db::lookup_path(record, "software_configuration");
+    if (!sc) return false;
+    const std::string canon = normalize_software(f.name);
+    if (!sc->contains(canon)) return false;
+    std::vector<int> version;
+    const Json& spec = sc->at(canon);
+    if (spec.is_object() && spec.contains("version"))
+      for (const auto& part : spec.at("version").as_array())
+        version.push_back(static_cast<int>(part.as_int()));
+    if (!version_in_range(version, f.version_from, f.version_to))
+      return false;
+  }
+
+  // User filters (any-of over username or email).
+  if (!meta.user_filters.empty()) {
+    const std::string owner = record.get_or("user", Json("")).as_string();
+    if (std::find(meta.user_filters.begin(), meta.user_filters.end(),
+                  owner) == meta.user_filters.end())
+      return false;
+  }
+  return true;
+}
+
+std::vector<Json> SharedRepo::query_function_evaluations(
+    const MetaDescription& meta) const {
+  const std::string user = require_user(meta.api_key);
+  const auto* evals = store_.find_collection("func_eval");
+  std::vector<Json> out;
+  if (!evals) return out;
+  for (const auto& record : evals->all()) {
+    if (!record_visible(record, user)) continue;
+    if (!record_matches_meta(record, meta)) continue;
+    out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<Json> SharedRepo::query_where(const std::string& api_key,
+                                          const std::string& problem_name,
+                                          std::string_view where_clause) const {
+  const std::string user = require_user(api_key);
+  const Json condition = parse_where_clause(where_clause);
+  const auto* evals = store_.find_collection("func_eval");
+  std::vector<Json> out;
+  if (!evals) return out;
+  for (const auto& record : evals->all()) {
+    if (record.get_or("problem", Json("")).as_string() != problem_name)
+      continue;
+    if (!record_visible(record, user)) continue;
+    if (!db::matches(record, condition)) continue;
+    out.push_back(record);
+  }
+  return out;
+}
+
+std::size_t SharedRepo::num_records(const std::string& problem_name) const {
+  const auto* evals = store_.find_collection("func_eval");
+  if (!evals) return 0;
+  Json q = Json::object();
+  q["problem"] = problem_name;
+  return evals->count(q);
+}
+
+core::TrainingData SharedRepo::to_training_data(
+    const std::vector<Json>& records, const space::Space& param_space) const {
+  std::vector<la::Vector> rows;
+  std::vector<double> ys;
+  for (const auto& r : records) {
+    const Json* tuning = db::lookup_path(r, "tuning_parameters");
+    const Json* output = db::lookup_path(r, "output");
+    if (!tuning || !output || !output->is_object()) continue;
+    // First numeric output field is the objective.
+    double y = std::numeric_limits<double>::quiet_NaN();
+    for (const auto& [name, v] : output->as_object()) {
+      (void)name;
+      if (v.is_number()) {
+        y = v.as_double();
+        break;
+      }
+    }
+    if (!std::isfinite(y)) continue;
+    try {
+      rows.push_back(param_space.encode(param_space.config_from_json(*tuning)));
+    } catch (const json::JsonError&) {
+      continue;  // record lacks one of the queried parameters
+    }
+    ys.push_back(y);
+  }
+  core::TrainingData d;
+  d.x = la::Matrix::from_rows(rows);
+  d.y = la::Vector(ys.begin(), ys.end());
+  return d;
+}
+
+gp::SurrogatePtr SharedRepo::query_surrogate_model(
+    const MetaDescription& meta, std::uint64_t seed,
+    gp::GpOptions options) const {
+  const auto records = query_function_evaluations(meta);
+  const core::TrainingData data = to_training_data(records, meta.parameter_space);
+  if (data.size() < 2)
+    throw std::runtime_error(
+        "query_surrogate_model: fewer than 2 usable records match");
+  auto model = std::make_shared<gp::GaussianProcess>(
+      meta.parameter_space.dim(), options);
+  rng::Rng rng(rng::splitmix64(seed + 0x9e3779b9ULL));
+  model->fit(data.x, data.y, rng);
+  return model;
+}
+
+double SharedRepo::query_predict_output(const MetaDescription& meta,
+                                        const space::Config& params,
+                                        std::uint64_t seed) const {
+  const auto model = query_surrogate_model(meta, seed);
+  return model->predict(meta.parameter_space.encode(params)).mean;
+}
+
+sa::SobolResult SharedRepo::query_sensitivity_analysis(
+    const MetaDescription& meta, std::uint64_t seed,
+    const sa::SobolOptions& options) const {
+  const auto model = query_surrogate_model(meta, seed);
+  rng::Rng rng(rng::splitmix64(seed + 0x51ab1edULL));
+  return sa::analyze_surrogate(*model, meta.parameter_space, rng, options);
+}
+
+VariabilityReport SharedRepo::query_variability_report(
+    const MetaDescription& meta, const VariabilityOptions& options) const {
+  return detect_variability(query_function_evaluations(meta), options);
+}
+
+std::vector<core::TaskHistory> SharedRepo::query_source_histories(
+    const MetaDescription& meta) const {
+  const auto records = query_function_evaluations(meta);
+  // Group records by their task-parameter JSON (canonical dump).
+  std::vector<std::pair<std::string, core::TaskHistory>> groups;
+  for (const auto& r : records) {
+    const Json* task = db::lookup_path(r, "task_parameters");
+    const Json* tuning = db::lookup_path(r, "tuning_parameters");
+    const Json* output = db::lookup_path(r, "output");
+    if (!task || !tuning || !output) continue;
+
+    space::Config task_config, tuning_config;
+    try {
+      task_config = meta.input_space.config_from_json(*task);
+      tuning_config = meta.parameter_space.config_from_json(*tuning);
+    } catch (const json::JsonError&) {
+      continue;
+    }
+    double y = std::numeric_limits<double>::quiet_NaN();
+    if (output->is_object()) {
+      for (const auto& [name, v] : output->as_object()) {
+        (void)name;
+        if (v.is_number()) {
+          y = v.as_double();
+          break;
+        }
+      }
+    }
+    const std::string key = task->dump();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == key; });
+    if (it == groups.end()) {
+      groups.emplace_back(key, core::TaskHistory(task_config));
+      it = std::prev(groups.end());
+    }
+    it->second.add(std::move(tuning_config), y);
+  }
+  std::sort(groups.begin(), groups.end(), [](const auto& a, const auto& b) {
+    return a.second.num_valid() > b.second.num_valid();
+  });
+  std::vector<core::TaskHistory> out;
+  out.reserve(groups.size());
+  for (auto& [key, h] : groups) {
+    (void)key;
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+void SharedRepo::save(const std::filesystem::path& dir) const {
+  store_.save(dir);
+}
+
+SharedRepo SharedRepo::load(const std::filesystem::path& dir,
+                            std::uint64_t seed) {
+  SharedRepo repo(seed);
+  repo.store_ = db::DocumentStore::load(dir);
+  return repo;
+}
+
+}  // namespace gptc::crowd

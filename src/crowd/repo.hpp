@@ -1,0 +1,168 @@
+// The shared crowd-tuning repository (paper Sec. III, Fig. 2).
+//
+// Manages user accounts with API keys, per-record access control
+// (public / private / shared-with), tag-normalization databases for machine
+// and software names, the function-evaluation store, and the analytics
+// utilities of Sec. IV-B (QueryFunctionEvaluations, QuerySurrogateModel,
+// QueryPredictOutput, QuerySensitivityAnalysis).
+//
+// The backing store is the JSON document store in src/db — the single-node
+// equivalent of the paper's MongoDB deployment. API keys are random
+// 20-character strings; only a hash is stored (a stand-in for the site's
+// password-grade storage — the hash here is a fast non-cryptographic one,
+// which is fine for a simulation substrate but called out in DESIGN.md).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "crowd/meta.hpp"
+#include "crowd/variability.hpp"
+#include "db/document_store.hpp"
+#include "gp/gaussian_process.hpp"
+#include "rng/rng.hpp"
+#include "sa/sobol.hpp"
+#include "space/space.hpp"
+
+namespace gptc::crowd {
+
+/// Visibility of one uploaded record.
+struct Accessibility {
+  enum class Level { Public, Private, Shared };
+  Level level = Level::Public;
+  std::vector<std::string> shared_with;  // usernames, for Level::Shared
+
+  json::Json to_json() const;
+  static Accessibility from_json(const json::Json& j);
+};
+
+/// A function evaluation as uploaded to / downloaded from the repo.
+struct EvalUpload {
+  json::Json task_parameters;      // {"m": 10000, "n": 10000}
+  json::Json tuning_parameters;    // {"mb": 4, ...}
+  std::string output_name = "runtime";
+  double output = 0.0;             // NaN = failed run (recorded as null)
+  json::Json machine_configuration = json::Json::object();
+  json::Json software_configuration = json::Json::object();
+  Accessibility accessibility;
+};
+
+class SharedRepo {
+ public:
+  explicit SharedRepo(std::uint64_t seed = 0x6a09e667f3bcc908ULL);
+
+  // --- User management -----------------------------------------------------
+
+  /// Registers a user and returns a fresh API key (shown once, like the
+  /// website; only its hash is stored). Throws if the username is taken.
+  std::string register_user(const std::string& username,
+                            const std::string& email);
+
+  /// Issues an additional API key for an existing user.
+  std::string issue_api_key(const std::string& username);
+
+  /// Resolves an API key to a username, or nullopt if invalid/revoked.
+  std::optional<std::string> authenticate(const std::string& api_key) const;
+
+  /// Revokes one API key. Returns false if it was not valid.
+  bool revoke_api_key(const std::string& api_key);
+
+  std::size_t num_users() const;
+
+  // --- Tag normalization (machine / software alias databases) --------------
+
+  void add_machine_alias(const std::string& canonical,
+                         const std::vector<std::string>& aliases);
+  void add_software_alias(const std::string& canonical,
+                          const std::vector<std::string>& aliases);
+
+  /// Maps a user-provided tag to its canonical name (case-insensitive over
+  /// the alias table); unknown tags pass through unchanged.
+  std::string normalize_machine(const std::string& tag) const;
+  std::string normalize_software(const std::string& tag) const;
+
+  // --- Function evaluations -------------------------------------------------
+
+  /// Uploads one evaluation under the given problem name. Machine/software
+  /// names inside the configurations are normalized. Returns the record id.
+  /// Throws std::invalid_argument on a bad API key.
+  std::int64_t upload(const std::string& api_key,
+                      const std::string& problem_name, const EvalUpload& e);
+
+  /// All records matching a meta description and visible to its API key's
+  /// user. This is the paper's QueryFunctionEvaluations.
+  std::vector<json::Json> query_function_evaluations(
+      const MetaDescription& meta) const;
+
+  /// SQL-like programmable query (paper Sec. II-B): returns the records of
+  /// `problem_name` visible to the API key's user that satisfy the WHERE
+  /// clause, e.g.
+  ///   repo.query_where(key, "pdgeqrf",
+  ///       "tuning_parameters.mb >= 4 AND "
+  ///       "machine_configuration.machine_name = 'Cori'");
+  /// Throws QueryParseError on bad syntax.
+  std::vector<json::Json> query_where(const std::string& api_key,
+                                      const std::string& problem_name,
+                                      std::string_view where_clause) const;
+
+  /// Total records for a problem (any visibility) — diagnostics.
+  std::size_t num_records(const std::string& problem_name) const;
+
+  // --- Analytics utilities (Sec. IV-B) --------------------------------------
+
+  /// Fits a GP surrogate to the queried records over meta.parameter_space.
+  /// Throws std::runtime_error if fewer than 2 usable records match.
+  gp::SurrogatePtr query_surrogate_model(const MetaDescription& meta,
+                                         std::uint64_t seed = 0,
+                                         gp::GpOptions options = {}) const;
+
+  /// Predicted output at one configuration (QueryPredictOutput).
+  double query_predict_output(const MetaDescription& meta,
+                              const space::Config& params,
+                              std::uint64_t seed = 0) const;
+
+  /// Sobol analysis of the surrogate (QuerySensitivityAnalysis).
+  sa::SobolResult query_sensitivity_analysis(
+      const MetaDescription& meta, std::uint64_t seed = 0,
+      const sa::SobolOptions& options = {}) const;
+
+  /// Variability diagnosis over the queried records (the paper's stated
+  /// future work, implemented here): repeated measurements of the same
+  /// configuration are grouped and checked for noise and outliers.
+  VariabilityReport query_variability_report(
+      const MetaDescription& meta,
+      const VariabilityOptions& options = {}) const;
+
+  /// Groups queried records into per-task histories for the Tuner's TLA
+  /// source input: one TaskHistory per distinct task-parameter combination,
+  /// ordered by descending sample count.
+  std::vector<core::TaskHistory> query_source_histories(
+      const MetaDescription& meta) const;
+
+  // --- Persistence -----------------------------------------------------------
+
+  void save(const std::filesystem::path& dir) const;
+  static SharedRepo load(const std::filesystem::path& dir,
+                         std::uint64_t seed = 0x6a09e667f3bcc908ULL);
+
+  const db::DocumentStore& store() const { return store_; }
+
+ private:
+  std::string generate_api_key();
+  bool record_visible(const json::Json& record,
+                      const std::string& username) const;
+  bool record_matches_meta(const json::Json& record,
+                           const MetaDescription& meta) const;
+  std::string require_user(const std::string& api_key) const;
+  core::TrainingData to_training_data(const std::vector<json::Json>& records,
+                                      const space::Space& param_space) const;
+
+  db::DocumentStore store_;
+  rng::Rng key_rng_;
+};
+
+}  // namespace gptc::crowd

@@ -1,0 +1,231 @@
+#include "db/document_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gptc::db {
+
+namespace {
+
+bool compare_lt(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) return a.as_double() < b.as_double();
+  if (a.is_string() && b.is_string()) return a.as_string() < b.as_string();
+  return false;  // incomparable types never satisfy an ordering operator
+}
+
+bool in_list(const Json& value, const Json& list) {
+  for (const auto& item : list.as_array())
+    if (value == item) return true;
+  return false;
+}
+
+/// Applies one operator object ({"$gte": 5, "$lt": 9}) to a present value.
+bool match_operators(const Json& value, const Json& ops) {
+  for (const auto& [op, operand] : ops.as_object()) {
+    if (op == "$eq") {
+      if (!(value == operand)) return false;
+    } else if (op == "$ne") {
+      if (value == operand) return false;
+    } else if (op == "$gt") {
+      if (!compare_lt(operand, value)) return false;
+    } else if (op == "$gte") {
+      if (compare_lt(value, operand)) return false;
+      if (!value.is_number() && !value.is_string()) return false;
+      if (value.is_number() != operand.is_number()) return false;
+    } else if (op == "$lt") {
+      if (!compare_lt(value, operand)) return false;
+    } else if (op == "$lte") {
+      if (compare_lt(operand, value)) return false;
+      if (!value.is_number() && !value.is_string()) return false;
+      if (value.is_number() != operand.is_number()) return false;
+    } else if (op == "$in") {
+      if (!in_list(value, operand)) return false;
+    } else if (op == "$nin") {
+      if (in_list(value, operand)) return false;
+    } else if (op == "$exists") {
+      // Presence already established by the caller; $exists:false fails.
+      if (!operand.as_bool()) return false;
+    } else {
+      throw json::JsonError("unknown query operator: " + op);
+    }
+  }
+  return true;
+}
+
+bool is_operator_object(const Json& j) {
+  if (!j.is_object() || j.as_object().empty()) return false;
+  for (const auto& [k, v] : j.as_object()) {
+    (void)v;
+    if (k.empty() || k[0] != '$') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const Json* lookup_path(const Json& document, const std::string& path) {
+  const Json* cur = &document;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string key = path.substr(start, dot - start);
+    if (!cur->is_object() || !cur->contains(key)) return nullptr;
+    cur = &cur->at(key);
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
+}
+
+bool matches(const Json& document, const Json& query) {
+  if (!query.is_object())
+    throw json::JsonError("query must be a JSON object");
+  for (const auto& [key, condition] : query.as_object()) {
+    if (key == "$and") {
+      for (const auto& sub : condition.as_array())
+        if (!matches(document, sub)) return false;
+    } else if (key == "$or") {
+      bool any = false;
+      for (const auto& sub : condition.as_array())
+        if (matches(document, sub)) {
+          any = true;
+          break;
+        }
+      if (!any) return false;
+    } else if (key == "$not") {
+      if (matches(document, condition)) return false;
+    } else {
+      const Json* value = lookup_path(document, key);
+      if (is_operator_object(condition)) {
+        if (!value) {
+          // Only {$exists:false} can match a missing field.
+          const auto& ops = condition.as_object();
+          const auto it = ops.find("$exists");
+          if (it == ops.end() || it->second.as_bool()) return false;
+          continue;
+        }
+        if (!match_operators(*value, condition)) return false;
+      } else {
+        if (!value || !(*value == condition)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::int64_t Collection::insert(Json document) {
+  if (!document.is_object())
+    throw json::JsonError("Collection::insert: document must be an object");
+  const std::int64_t id = next_id_++;
+  document["_id"] = id;
+  docs_.push_back(std::move(document));
+  return id;
+}
+
+std::vector<Json> Collection::find(const Json& query) const {
+  std::vector<Json> out;
+  for (const auto& d : docs_)
+    if (matches(d, query)) out.push_back(d);
+  return out;
+}
+
+Json Collection::find_one(const Json& query) const {
+  for (const auto& d : docs_)
+    if (matches(d, query)) return d;
+  return Json();
+}
+
+std::size_t Collection::count(const Json& query) const {
+  std::size_t n = 0;
+  for (const auto& d : docs_)
+    if (matches(d, query)) ++n;
+  return n;
+}
+
+std::size_t Collection::remove(const Json& query) {
+  const std::size_t before = docs_.size();
+  std::erase_if(docs_, [&](const Json& d) { return matches(d, query); });
+  return before - docs_.size();
+}
+
+std::size_t Collection::update(const Json& query, const Json& update) {
+  if (!update.is_object())
+    throw json::JsonError("Collection::update: update must be an object");
+  std::size_t n = 0;
+  for (auto& d : docs_) {
+    if (!matches(d, query)) continue;
+    for (const auto& [k, v] : update.as_object()) {
+      if (k == "_id") continue;  // ids are immutable
+      d[k] = v;
+    }
+    ++n;
+  }
+  return n;
+}
+
+Json Collection::to_json() const {
+  Json j = Json::object();
+  j["name"] = name_;
+  j["next_id"] = next_id_;
+  Json docs = Json::array();
+  for (const auto& d : docs_) docs.push_back(d);
+  j["docs"] = std::move(docs);
+  return j;
+}
+
+Collection Collection::from_json(const Json& j) {
+  Collection c(j.at("name").as_string());
+  c.next_id_ = j.at("next_id").as_int();
+  for (const auto& d : j.at("docs").as_array()) c.docs_.push_back(d);
+  return c;
+}
+
+Collection& DocumentStore::collection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end())
+    it = collections_.emplace(name, Collection(name)).first;
+  return it->second;
+}
+
+const Collection* DocumentStore::find_collection(
+    const std::string& name) const {
+  const auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DocumentStore::collection_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, c] : collections_) {
+    (void)c;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void DocumentStore::save(const std::filesystem::path& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const auto& [name, c] : collections_) {
+    std::ofstream out(dir / (name + ".json"));
+    if (!out)
+      throw std::runtime_error("DocumentStore::save: cannot write " +
+                               (dir / (name + ".json")).string());
+    out << c.to_json().dump(2) << "\n";
+  }
+}
+
+DocumentStore DocumentStore::load(const std::filesystem::path& dir) {
+  DocumentStore store;
+  if (!std::filesystem::exists(dir)) return store;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Collection c = Collection::from_json(Json::parse(buf.str()));
+    const std::string name = c.name();
+    store.collections_.emplace(name, std::move(c));
+  }
+  return store;
+}
+
+}  // namespace gptc::db

@@ -1,0 +1,95 @@
+// JSON document store — the single-node equivalent of the paper's MongoDB
+// backend (Fig. 2).
+//
+// Collections hold JSON object documents with an auto-assigned integer
+// "_id". Queries are Mongo-style match expressions, which is what the
+// crowd layer translates the paper's problem_space / configuration_space
+// meta descriptions into:
+//
+//   {"task_parameters.m": {"$gte": 1000, "$lt": 20000},
+//    "machine_configuration.machine_name": {"$in": ["Cori", "cori"]}}
+//
+// Supported operators: $eq, $ne, $gt, $gte, $lt, $lte, $in, $nin, $exists,
+// plus top-level/nested $and, $or, $not. Field paths use dot notation. A
+// store can persist itself to a directory (one pretty-printed JSON file per
+// collection), which keeps the shared repository diffable and inspectable.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace gptc::db {
+
+using json::Json;
+
+/// Evaluates a Mongo-style match expression against a document. Exposed for
+/// reuse (the crowd layer post-filters nested arrays with it).
+bool matches(const Json& document, const Json& query);
+
+/// Looks up a dot-separated path ("a.b.c") in a document. Returns nullptr
+/// if any step is missing or not an object.
+const Json* lookup_path(const Json& document, const std::string& path);
+
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  /// Inserts a document (must be a JSON object); assigns and returns its
+  /// "_id".
+  std::int64_t insert(Json document);
+
+  /// All documents matching the query, in insertion order.
+  std::vector<Json> find(const Json& query) const;
+
+  /// First match or null Json.
+  Json find_one(const Json& query) const;
+
+  std::size_t count(const Json& query) const;
+
+  /// Removes matching documents; returns how many were removed.
+  std::size_t remove(const Json& query);
+
+  /// Applies `update` (an object whose fields overwrite the document's) to
+  /// all matches; returns how many documents changed.
+  std::size_t update(const Json& query, const Json& update);
+
+  const std::vector<Json>& all() const { return docs_; }
+
+  /// Serialization for persistence: {"name":..., "next_id":..., "docs":[...]}.
+  Json to_json() const;
+  static Collection from_json(const Json& j);
+
+ private:
+  std::string name_;
+  std::int64_t next_id_ = 1;
+  std::vector<Json> docs_;
+};
+
+class DocumentStore {
+ public:
+  /// Gets (creating on demand) a collection.
+  Collection& collection(const std::string& name);
+  const Collection* find_collection(const std::string& name) const;
+  std::vector<std::string> collection_names() const;
+
+  /// Writes every collection as <dir>/<name>.json (creating dir).
+  void save(const std::filesystem::path& dir) const;
+
+  /// Loads every *.json collection file from the directory.
+  static DocumentStore load(const std::filesystem::path& dir);
+
+ private:
+  std::map<std::string, Collection> collections_;
+};
+
+}  // namespace gptc::db

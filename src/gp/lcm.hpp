@@ -1,0 +1,115 @@
+// Linear Coregionalization Model (LCM) — the multitask Gaussian process
+// behind GPTune's transfer learning (paper Sec. V-A).
+//
+// Given T tasks with (possibly unequal) sample sets {(X_t, y_t)}, the joint
+// covariance between (task i, x) and (task j, x') is
+//
+//     K[(i,x),(j,x')] = sum_q B_q[i,j] * k_q(x, x') + delta * noise_i,
+//
+// with Q latent unit-variance kernels k_q and coregionalization matrices
+// B_q = a_q a_q^T + diag(kappa_q) (rank-1 plus diagonal, guaranteeing
+// positive semi-definiteness). The a_q entries model cross-task
+// correlation — which is exactly what lets samples from a source task (say,
+// NIMROD on 32 Haswell nodes) inform predictions for a target task (64
+// nodes): correlated tasks share the latent processes.
+//
+// Supporting an unequal number of samples per task is the Multitask(TS)
+// contribution of the paper: the model is built over the stacked sample
+// set, not over a shared design.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "gp/surrogate.hpp"
+#include "la/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace gptc::gp {
+
+/// Per-task training data (raw outputs; caller filters failures).
+struct TaskData {
+  la::Matrix x;
+  la::Vector y;
+};
+
+struct LcmOptions {
+  /// Number of latent kernels Q. 1–2 is enough for the task counts in the
+  /// paper's experiments; cost grows linearly in Q.
+  std::size_t num_latent = 1;
+  KernelKind kernel = KernelKind::Matern52;
+  int fit_restarts = 1;
+  int fit_evaluations = 220;
+  /// Cap on samples used per task. LCM likelihood evaluation is
+  /// O((sum_t n_t)^3); large crowd-sourced source datasets are randomly
+  /// subsampled to this many points (see DESIGN.md ablation).
+  std::size_t max_samples_per_task = 120;
+  double min_noise = 1e-8;
+  HyperBounds bounds;
+};
+
+class LcmModel {
+ public:
+  LcmModel(std::size_t dim, std::size_t num_tasks, LcmOptions options = {});
+
+  /// Fits hyperparameters and predictive state to the stacked task data.
+  /// Tasks with zero samples are allowed (e.g. the target task before its
+  /// first evaluation) as long as at least one task has data.
+  void fit(std::vector<TaskData> tasks, rng::Rng& rng);
+
+  /// Predictive distribution for `task` at encoded point x (original output
+  /// units of that task).
+  Prediction predict(std::size_t task, const la::Vector& x) const;
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_tasks() const { return num_tasks_; }
+  bool is_fitted() const { return fitted_; }
+  std::size_t num_samples(std::size_t task) const;
+
+  /// Cross-task covariance B[i][j] = sum_q B_q[i,j] under the fitted
+  /// hyperparameters (standardized units) — exposed for tests/diagnostics.
+  double task_covariance(std::size_t i, std::size_t j) const;
+
+  /// A Surrogate view of one task, sharing this model.
+  static SurrogatePtr task_view(std::shared_ptr<const LcmModel> model,
+                                std::size_t task);
+
+ private:
+  struct Hyper {
+    // Layout per latent q: [log l_1..log l_d, a_1..a_T, log kappa_1..log
+    // kappa_T], then [log noise_1..log noise_T].
+    la::Vector theta;
+  };
+
+  std::size_t theta_size() const;
+  double coreg(const la::Vector& theta, std::size_t q, std::size_t i,
+               std::size_t j) const;
+  double latent_kernel(const la::Vector& theta, std::size_t q,
+                       std::span<const double> x,
+                       std::span<const double> y) const;
+  double cov_entry(const la::Vector& theta, std::size_t task_i,
+                   std::span<const double> xi, std::size_t task_j,
+                   std::span<const double> xj) const;
+  double neg_log_likelihood(const la::Vector& theta) const;
+  void compute_state();
+
+  std::size_t dim_;
+  std::size_t num_tasks_;
+  LcmOptions options_;
+
+  bool fitted_ = false;
+  la::Vector theta_;
+
+  // Stacked (subsampled, standardized) training data.
+  la::Matrix x_;                    // all points, row stacked
+  std::vector<std::size_t> task_of_;  // task index per stacked row
+  la::Vector y_std_;
+  std::vector<double> y_mean_, y_scale_;  // per task
+  std::vector<std::size_t> n_per_task_;
+  std::optional<la::Cholesky> chol_;
+  la::Vector alpha_;
+};
+
+}  // namespace gptc::gp

@@ -1,0 +1,37 @@
+// The surrogate-model abstraction shared by the BO loop, the TLA algorithms
+// and the sensitivity analyzer.
+//
+// A surrogate maps an encoded point (unit cube) to a predictive mean and
+// variance in the *original output units* (e.g. seconds). All TLA model
+// combinations in the paper — weighted sums, residual stacks, LCM task
+// views — are surrogates, which is what lets the acquisition search treat
+// them uniformly.
+#pragma once
+
+#include <memory>
+
+#include "la/matrix.hpp"
+
+namespace gptc::gp {
+
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  double stddev() const;
+};
+
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Predictive distribution at an encoded point.
+  virtual Prediction predict(const la::Vector& x) const = 0;
+
+  /// Input dimensionality.
+  virtual std::size_t dim() const = 0;
+};
+
+using SurrogatePtr = std::shared_ptr<const Surrogate>;
+
+}  // namespace gptc::gp

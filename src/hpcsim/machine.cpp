@@ -1,0 +1,85 @@
+#include "hpcsim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gptc::hpcsim {
+
+MachineModel MachineModel::cori_haswell() {
+  MachineModel m;
+  m.name = "Cori";
+  m.partition = "haswell";
+  m.cores_per_node = 32;
+  // 2.3 GHz x 16 DP flop/cycle, derated to a sustainable DGEMM rate.
+  m.flops_per_core = 28e9;
+  m.mem_bw_per_node = 120e9;
+  m.mem_per_node = 128e9;
+  m.net_latency = 1.3e-6;
+  m.net_inv_bandwidth = 1.0 / 8e9;  // ~8 GB/s effective point-to-point
+  m.noise_sigma = 0.03;
+  return m;
+}
+
+MachineModel MachineModel::cori_knl() {
+  MachineModel m;
+  m.name = "Cori";
+  m.partition = "knl";
+  m.cores_per_node = 68;
+  // 1.4 GHz, wide vectors but poor serial efficiency: weaker per core.
+  m.flops_per_core = 9e9;
+  m.mem_bw_per_node = 400e9;  // MCDRAM
+  m.mem_per_node = 96e9;
+  m.net_latency = 2.0e-6;
+  m.net_inv_bandwidth = 1.0 / 6e9;
+  m.noise_sigma = 0.05;  // KNL is noisier in practice
+  return m;
+}
+
+json::Json MachineModel::machine_configuration(int nodes) const {
+  json::Json j = json::Json::object();
+  j["machine_name"] = name;
+  j["partition"] = partition;
+  j["nodes"] = std::int64_t{nodes};
+  j["cores"] = std::int64_t{cores_per_node};
+  return j;
+}
+
+double Allocation::rank_flops(double kernel_efficiency,
+                              double bytes_per_flop) const {
+  const double compute = machine.flops_per_core *
+                         std::clamp(kernel_efficiency, 0.01, 1.0);
+  if (bytes_per_flop <= 0.0) return compute;
+  // Roofline: a rank's streaming share of node bandwidth caps flop rate.
+  const double bw_share =
+      machine.mem_bw_per_node / std::max(ranks_per_node, 1);
+  const double bw_bound = bw_share / bytes_per_flop;
+  return std::min(compute, bw_bound);
+}
+
+double Allocation::message_time(double bytes) const {
+  return machine.net_latency + bytes * machine.net_inv_bandwidth;
+}
+
+double Allocation::broadcast_time(double bytes, int group) const {
+  if (group <= 1) return 0.0;
+  const double hops = std::ceil(std::log2(static_cast<double>(group)));
+  return hops * message_time(bytes);
+}
+
+double Allocation::allreduce_time(double bytes, int group) const {
+  if (group <= 1) return 0.0;
+  const double hops = std::ceil(std::log2(static_cast<double>(group)));
+  return 2.0 * hops * message_time(bytes);
+}
+
+double Allocation::mem_per_rank() const {
+  return machine.mem_per_node / std::max(ranks_per_node, 1);
+}
+
+double Allocation::noise(std::uint64_t seed, std::uint64_t config_tag) const {
+  rng::Rng r(rng::splitmix64(seed ^ rng::splitmix64(config_tag) ^
+                             rng::hash_tag(machine.name + machine.partition)));
+  return r.lognoise(machine.noise_sigma);
+}
+
+}  // namespace gptc::hpcsim

@@ -1,0 +1,77 @@
+// Machine models — the substitute for the paper's NERSC Cori testbed.
+//
+// The TLA algorithms only ever see a black-box objective, so what the
+// machine substrate must reproduce is the *structure* of HPC runtime:
+// per-core compute rates, memory-bandwidth contention when many MPI ranks
+// share a node, alpha-beta network costs, per-node memory capacity (for
+// OOM-style failures) and lognormal run-to-run noise. Two concrete models
+// mirror the paper's platforms: Cori Haswell (32 cores/node, strong cores)
+// and Cori KNL (68 cores/node, weak cores, fast MCDRAM) — different enough
+// that the tuned optimum moves across architectures, which is exactly the
+// transfer scenario of Fig. 5(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "json/json.hpp"
+#include "rng/rng.hpp"
+
+namespace gptc::hpcsim {
+
+struct MachineModel {
+  std::string name;
+  std::string partition;
+  int cores_per_node = 1;
+  double flops_per_core = 1e9;      // sustainable flop/s per core (BLAS-3)
+  double mem_bw_per_node = 1e10;    // bytes/s
+  double mem_per_node = 64e9;       // bytes
+  double net_latency = 1e-6;        // seconds per message
+  double net_inv_bandwidth = 1e-10; // seconds per byte
+  double noise_sigma = 0.03;        // lognormal run-to-run noise
+
+  /// Cori Haswell: 2x16-core Xeon E5-2698v3, 128 GB DDR4, Aries.
+  static MachineModel cori_haswell();
+  /// Cori KNL: 68-core Xeon Phi 7250, 96 GB DDR4 + 16 GB MCDRAM, Aries.
+  static MachineModel cori_knl();
+
+  /// machine_configuration JSON for crowd-database records.
+  json::Json machine_configuration(int nodes) const;
+};
+
+/// A job allocation: a machine, a node count and an MPI layout.
+struct Allocation {
+  MachineModel machine;
+  int nodes = 1;
+  int ranks_per_node = 1;
+
+  int total_ranks() const { return nodes * ranks_per_node; }
+
+  /// Effective flop/s one rank sustains for dense kernels, given the kernel
+  /// efficiency (0..1, e.g. from block size) and node-level bandwidth
+  /// contention: with r ranks per node each rank's streaming share is
+  /// bw/r, and kernels with low arithmetic intensity become bandwidth
+  /// bound. `bytes_per_flop` expresses that intensity (0 = fully
+  /// compute-bound).
+  double rank_flops(double kernel_efficiency, double bytes_per_flop) const;
+
+  /// Alpha-beta time for one message of `bytes`.
+  double message_time(double bytes) const;
+
+  /// Time for a broadcast of `bytes` among `group` ranks (binomial tree).
+  double broadcast_time(double bytes, int group) const;
+
+  /// Time for an all-reduce of `bytes` among `group` ranks.
+  double allreduce_time(double bytes, int group) const;
+
+  /// Memory available to each rank (bytes).
+  double mem_per_rank() const;
+
+  /// Deterministic run-to-run noise factor for one measured configuration:
+  /// the same (seed, config_tag) always sees the same noise, so recorded
+  /// crowd data is reproducible, while different configurations see
+  /// independent lognormal draws.
+  double noise(std::uint64_t seed, std::uint64_t config_tag) const;
+};
+
+}  // namespace gptc::hpcsim

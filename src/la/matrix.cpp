@@ -1,0 +1,284 @@
+#include "la/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gptc::la {
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols())
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+void Matrix::add_diagonal(double alpha) {
+  if (rows_ != cols_)
+    throw std::invalid_argument("add_diagonal: matrix not square");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += alpha;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("matvec: size mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector matvec_t(const Matrix& a, const Vector& x) {
+  if (a.rows() != x.size())
+    throw std::invalid_argument("matvec_t: size mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    const double xr = x[r];
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: size mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over rows of B and C.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const auto row = a.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+Vector subtract(const Vector& a, const Vector& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("subtract: size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+void axpy(double alpha, const Vector& b, Vector& a) {
+  if (a.size() != b.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+}
+
+Cholesky::Cholesky(Matrix a, double initial_jitter, int max_attempts) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("Cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_diag += a(i, i);
+  mean_diag = n > 0 ? mean_diag / static_cast<double>(n) : 1.0;
+  if (mean_diag <= 0.0) mean_diag = 1.0;
+
+  if (try_factor(a, 0.0)) return;
+  double jitter = initial_jitter * mean_diag;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (try_factor(a, jitter)) {
+      jitter_added_ = jitter;
+      return;
+    }
+    jitter *= 10.0;
+  }
+  throw std::runtime_error("Cholesky: matrix not positive definite");
+}
+
+bool Cholesky::try_factor(const Matrix& a, double jitter) {
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const auto li = l_.row(i);
+      const auto lj = l_.row(j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l_(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  const std::size_t n = order();
+  if (b.size() != n) throw std::invalid_argument("solve_lower: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  return y;
+}
+
+Vector Cholesky::solve_lower_t(const Vector& y) const {
+  const std::size_t n = order();
+  if (y.size() != n)
+    throw std::invalid_argument("solve_lower_t: size mismatch");
+  Vector x(y);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    x[i] /= l_(i, i);
+    const double xi = x[i];
+    for (std::size_t k = 0; k < i; ++k) x[k] -= l_(i, k) * xi;
+  }
+  return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  return solve_lower_t(solve_lower(b));
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  const std::size_t n = order();
+  if (b.rows() != n) throw std::invalid_argument("solve: size mismatch");
+  Matrix x(n, b.cols());
+  Vector col(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < order(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("least_squares: size mismatch");
+  if (a.rows() < a.cols())
+    return ridge_least_squares(a, b, 1e-10);  // underdetermined: regularize
+  // Householder QR, transforming b alongside.
+  Matrix r = a;
+  Vector qtb = b;
+  const std::size_t m = r.rows(), n = r.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k.
+    double alpha = 0.0;
+    for (std::size_t i = k; i < m; ++i) alpha += r(i, k) * r(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0) continue;
+    if (r(k, k) > 0.0) alpha = -alpha;
+    Vector v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    const double vnorm2 = dot(v, v);
+    if (vnorm2 == 0.0) continue;
+    // Apply I - 2 v v^T / (v^T v) to the trailing columns and to b.
+    for (std::size_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * r(i, j);
+      const double f = 2.0 * s / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i - k];
+    }
+    double s = 0.0;
+    for (std::size_t i = k; i < m; ++i) s += v[i - k] * qtb[i];
+    const double f = 2.0 * s / vnorm2;
+    for (std::size_t i = k; i < m; ++i) qtb[i] -= f * v[i - k];
+    r(k, k) = alpha;
+  }
+  // Back substitution on the upper-triangular R; a tiny pivot means rank
+  // deficiency — fall back to the ridge solution in that case.
+  Vector x(n, 0.0);
+  for (std::size_t jj = n; jj > 0; --jj) {
+    const std::size_t j = jj - 1;
+    if (std::abs(r(j, j)) < 1e-12)
+      return ridge_least_squares(a, b, 1e-10);
+    double s = qtb[j];
+    for (std::size_t c = j + 1; c < n; ++c) s -= r(j, c) * x[c];
+    x[j] = s / r(j, j);
+  }
+  return x;
+}
+
+Vector ridge_least_squares(const Matrix& a, const Vector& b, double lambda) {
+  Matrix ata = gram(a);
+  ata.add_diagonal(lambda);
+  return Cholesky(std::move(ata)).solve(matvec_t(a, b));
+}
+
+Vector nonneg_least_squares(const Matrix& a, const Vector& b, double lambda,
+                            int max_iters, double tol) {
+  const std::size_t n = a.cols();
+  Matrix ata = gram(a);
+  ata.add_diagonal(lambda);
+  const Vector atb = matvec_t(a, b);
+  Vector x(n, 0.0);
+  // Projected coordinate descent: exact coordinate minimization followed by
+  // projection onto x_j >= 0. Converges for this strictly convex objective.
+  for (int it = 0; it < max_iters; ++it) {
+    double max_change = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double g = atb[j];
+      for (std::size_t k = 0; k < n; ++k)
+        if (k != j) g -= ata(j, k) * x[k];
+      const double xj = std::max(0.0, g / ata(j, j));
+      max_change = std::max(max_change, std::abs(xj - x[j]));
+      x[j] = xj;
+    }
+    if (max_change < tol) break;
+  }
+  return x;
+}
+
+}  // namespace gptc::la

@@ -1,0 +1,288 @@
+#include "opt/optimize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace gptc::opt {
+
+namespace {
+
+void clamp01(la::Vector& x) {
+  for (double& v : x) v = std::clamp(v, 0.0, 1.0);
+}
+
+double safe_eval(const ObjectiveFn& f, const la::Vector& x) {
+  const double v = f(x);
+  // Treat non-finite objective values as very bad rather than poisoning the
+  // simplex / population.
+  return std::isfinite(v) ? v : std::numeric_limits<double>::max();
+}
+
+}  // namespace
+
+Result nelder_mead(const ObjectiveFn& f, const la::Vector& start,
+                   const NelderMeadOptions& options) {
+  const std::size_t d = start.size();
+  if (d == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  // Standard coefficients.
+  constexpr double kReflect = 1.0, kExpand = 2.0, kContract = 0.5,
+                   kShrink = 0.5;
+
+  struct Vertex {
+    la::Vector x;
+    double fx;
+  };
+
+  Result result;
+  result.evaluations = 0;
+  const auto eval = [&](la::Vector x) {
+    if (options.clamp_unit_cube) clamp01(x);
+    const double v = safe_eval(f, x);
+    ++result.evaluations;
+    if (v < result.value) {
+      result.value = v;
+      result.x = x;
+    }
+    return Vertex{std::move(x), v};
+  };
+
+  std::vector<Vertex> simplex;
+  simplex.reserve(d + 1);
+  simplex.push_back(eval(start));
+  for (std::size_t i = 0; i < d; ++i) {
+    la::Vector x = start;
+    // Step away from the boundary if perturbing would leave the cube.
+    double step = options.initial_step;
+    if (options.clamp_unit_cube && x[i] + step > 1.0) step = -step;
+    x[i] += step;
+    if (x[i] == start[i]) x[i] += 1e-3;  // degenerate range guard
+    simplex.push_back(eval(std::move(x)));
+  }
+
+  const auto by_f = [](const Vertex& a, const Vertex& b) {
+    return a.fx < b.fx;
+  };
+
+  while (result.evaluations < options.max_evaluations) {
+    std::sort(simplex.begin(), simplex.end(), by_f);
+    const double f_spread = simplex.back().fx - simplex.front().fx;
+    double diameter = 0.0;
+    for (std::size_t i = 0; i < d; ++i)
+      diameter = std::max(diameter, std::abs(simplex.back().x[i] -
+                                             simplex.front().x[i]));
+    // Stop only when the simplex has collapsed in BOTH objective value and
+    // position: f-values can agree to machine precision while the vertices
+    // are still far apart (e.g. symmetric points around a quadratic
+    // minimum), and stopping there returns a poor vertex.
+    if (f_spread < options.f_tolerance && diameter < options.x_tolerance)
+      break;
+
+    // Centroid of all but the worst vertex.
+    la::Vector centroid(d, 0.0);
+    for (std::size_t v = 0; v < d; ++v)
+      for (std::size_t i = 0; i < d; ++i) centroid[i] += simplex[v].x[i];
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    const auto blend = [&](double coef) {
+      la::Vector x(d);
+      for (std::size_t i = 0; i < d; ++i)
+        x[i] = centroid[i] + coef * (centroid[i] - simplex.back().x[i]);
+      return x;
+    };
+
+    Vertex reflected = eval(blend(kReflect));
+    if (reflected.fx < simplex.front().fx) {
+      Vertex expanded = eval(blend(kExpand));
+      simplex.back() = expanded.fx < reflected.fx ? std::move(expanded)
+                                                  : std::move(reflected);
+      continue;
+    }
+    if (reflected.fx < simplex[d - 1].fx) {
+      simplex.back() = std::move(reflected);
+      continue;
+    }
+    Vertex contracted = eval(blend(reflected.fx < simplex.back().fx
+                                       ? kContract
+                                       : -kContract));
+    if (contracted.fx < std::min(reflected.fx, simplex.back().fx)) {
+      simplex.back() = std::move(contracted);
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t v = 1; v <= d; ++v) {
+      la::Vector x(d);
+      for (std::size_t i = 0; i < d; ++i)
+        x[i] = simplex[0].x[i] +
+               kShrink * (simplex[v].x[i] - simplex[0].x[i]);
+      simplex[v] = eval(std::move(x));
+      if (result.evaluations >= options.max_evaluations) break;
+    }
+  }
+  return result;
+}
+
+Result multistart_nelder_mead(const ObjectiveFn& f,
+                              const std::vector<la::Vector>& starts,
+                              const NelderMeadOptions& options) {
+  if (starts.empty())
+    throw std::invalid_argument("multistart_nelder_mead: no starts");
+  Result best;
+  for (const auto& s : starts) {
+    Result r = nelder_mead(f, s, options);
+    best.evaluations += r.evaluations;
+    if (r.value < best.value) {
+      best.value = r.value;
+      best.x = std::move(r.x);
+    }
+  }
+  return best;
+}
+
+Result differential_evolution(const ObjectiveFn& f, std::size_t dim,
+                              rng::Rng& rng,
+                              const DifferentialEvolutionOptions& options) {
+  if (dim == 0)
+    throw std::invalid_argument("differential_evolution: dim == 0");
+  const int pop_size = std::max(options.population, 4);
+
+  Result result;
+  std::vector<la::Vector> pop;
+  std::vector<double> fitness;
+  pop.reserve(static_cast<std::size_t>(pop_size));
+
+  for (const auto& s : options.seeds) {
+    if (s.size() != dim)
+      throw std::invalid_argument("differential_evolution: bad seed dim");
+    if (pop.size() < static_cast<std::size_t>(pop_size)) {
+      la::Vector x = s;
+      clamp01(x);
+      pop.push_back(std::move(x));
+    }
+  }
+  while (pop.size() < static_cast<std::size_t>(pop_size)) {
+    la::Vector x(dim);
+    for (double& v : x) v = rng.uniform();
+    pop.push_back(std::move(x));
+  }
+  fitness.reserve(pop.size());
+  for (const auto& x : pop) {
+    const double v = safe_eval(f, x);
+    ++result.evaluations;
+    fitness.push_back(v);
+    if (v < result.value) {
+      result.value = v;
+      result.x = x;
+    }
+  }
+
+  la::Vector trial(dim);
+  for (int gen = 0; gen < options.generations; ++gen) {
+    for (int i = 0; i < pop_size; ++i) {
+      // Pick three distinct partners != i.
+      int a, b, c;
+      do { a = static_cast<int>(rng.uniform_int(0, pop_size - 1)); } while (a == i);
+      do { b = static_cast<int>(rng.uniform_int(0, pop_size - 1)); } while (b == i || b == a);
+      do { c = static_cast<int>(rng.uniform_int(0, pop_size - 1)); } while (c == i || c == a || c == b);
+      const auto jrand =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(dim) - 1));
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (j == jrand || rng.uniform() < options.crossover) {
+          trial[j] = pop[static_cast<std::size_t>(a)][j] +
+                     options.differential_weight *
+                         (pop[static_cast<std::size_t>(b)][j] -
+                          pop[static_cast<std::size_t>(c)][j]);
+          trial[j] = std::clamp(trial[j], 0.0, 1.0);
+        } else {
+          trial[j] = pop[static_cast<std::size_t>(i)][j];
+        }
+      }
+      const double v = safe_eval(f, trial);
+      ++result.evaluations;
+      if (v <= fitness[static_cast<std::size_t>(i)]) {
+        pop[static_cast<std::size_t>(i)] = trial;
+        fitness[static_cast<std::size_t>(i)] = v;
+        if (v < result.value) {
+          result.value = v;
+          result.x = trial;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<la::Vector> random_design(std::size_t n, std::size_t dim,
+                                      rng::Rng& rng) {
+  std::vector<la::Vector> pts(n, la::Vector(dim));
+  for (auto& p : pts)
+    for (double& v : p) v = rng.uniform();
+  return pts;
+}
+
+std::vector<la::Vector> latin_hypercube(std::size_t n, std::size_t dim,
+                                        rng::Rng& rng) {
+  std::vector<la::Vector> pts(n, la::Vector(dim));
+  for (std::size_t d = 0; d < dim; ++d) {
+    const auto perm = rng.permutation(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts[i][d] = (static_cast<double>(perm[i]) + rng.uniform()) /
+                  static_cast<double>(n);
+    }
+  }
+  return pts;
+}
+
+namespace {
+
+constexpr std::array<int, 64> kPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+    43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+    103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+    173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+    241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311};
+
+/// Radical-inverse of `index` in base `base` with a fixed digit permutation.
+double permuted_radical_inverse(std::uint64_t index, int base,
+                                const std::vector<int>& perm) {
+  double inv_base = 1.0 / base;
+  double inv = inv_base;
+  double value = 0.0;
+  while (index > 0) {
+    const auto digit = static_cast<std::size_t>(index % static_cast<std::uint64_t>(base));
+    value += perm[digit] * inv;
+    index /= static_cast<std::uint64_t>(base);
+    inv *= inv_base;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<la::Vector> scrambled_halton(std::size_t n, std::size_t dim,
+                                         rng::Rng& rng, std::size_t skip) {
+  if (dim > kPrimes.size())
+    throw std::invalid_argument("scrambled_halton: dim > 64 unsupported");
+  // One random digit permutation per dimension, with perm[0] == 0 so that 0
+  // maps to 0 (keeps the sequence inside [0,1)).
+  std::vector<std::vector<int>> perms(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    const int base = kPrimes[d];
+    auto& perm = perms[d];
+    perm.resize(static_cast<std::size_t>(base));
+    rng::Rng sub = rng.split(d + 1);
+    const auto shuffled = sub.permutation(static_cast<std::size_t>(base) - 1);
+    perm[0] = 0;
+    for (std::size_t i = 0; i + 1 < static_cast<std::size_t>(base); ++i)
+      perm[i + 1] = static_cast<int>(shuffled[i]) + 1;
+  }
+  std::vector<la::Vector> pts(n, la::Vector(dim));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t d = 0; d < dim; ++d)
+      pts[i][d] = permuted_radical_inverse(i + skip + 1, kPrimes[d], perms[d]);
+  return pts;
+}
+
+}  // namespace gptc::opt

@@ -1,0 +1,80 @@
+// Derivative-free optimizers and space-filling samplers.
+//
+// Two very different optimization jobs live in the tuner:
+//   1. GP hyperparameter fitting — smooth, low-dimensional, expensive
+//      objective (log marginal likelihood): multistart Nelder–Mead.
+//   2. Acquisition maximization over the (encoded) unit cube — cheap,
+//      multimodal objective with plateaus from integer/categorical
+//      encoding: differential evolution seeded with random + incumbent
+//      points, refined by Nelder–Mead.
+// Plus the space-filling designs used for initial samples and for the
+// Saltelli sensitivity design (Latin hypercube, scrambled Halton).
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "la/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace gptc::opt {
+
+/// Objective for all optimizers in this module: minimize f(x).
+using ObjectiveFn = std::function<double(const la::Vector&)>;
+
+struct Result {
+  la::Vector x;
+  double value = std::numeric_limits<double>::infinity();
+  int evaluations = 0;
+};
+
+struct NelderMeadOptions {
+  int max_evaluations = 400;
+  double initial_step = 0.1;   // simplex edge relative to bound width
+  double f_tolerance = 1e-9;   // stop when simplex f-spread is below this
+  double x_tolerance = 1e-8;   // ... or simplex diameter is below this
+  bool clamp_unit_cube = false;  // project iterates into [0,1]^d
+};
+
+/// Nelder–Mead simplex minimization from the given start point.
+Result nelder_mead(const ObjectiveFn& f, const la::Vector& start,
+                   const NelderMeadOptions& options = {});
+
+/// Multistart Nelder–Mead over [0,1]^d (or over starts supplied by the
+/// caller): runs NM from each start and returns the best result.
+Result multistart_nelder_mead(const ObjectiveFn& f,
+                              const std::vector<la::Vector>& starts,
+                              const NelderMeadOptions& options = {});
+
+struct DifferentialEvolutionOptions {
+  int population = 32;
+  int generations = 40;
+  double crossover = 0.8;
+  double differential_weight = 0.6;
+  /// Additional points injected into the initial population (e.g. the
+  /// incumbent best and previously evaluated configurations).
+  std::vector<la::Vector> seeds;
+};
+
+/// Differential evolution (rand/1/bin) over the unit cube [0,1]^d.
+Result differential_evolution(const ObjectiveFn& f, std::size_t dim,
+                              rng::Rng& rng,
+                              const DifferentialEvolutionOptions& options = {});
+
+/// n uniform random points in [0,1]^dim.
+std::vector<la::Vector> random_design(std::size_t n, std::size_t dim,
+                                      rng::Rng& rng);
+
+/// Latin hypercube design: n points, each of the dim coordinates stratified
+/// into n equal bins with one point per bin, jittered within the bin.
+std::vector<la::Vector> latin_hypercube(std::size_t n, std::size_t dim,
+                                        rng::Rng& rng);
+
+/// Deterministic low-discrepancy sequence: Halton with per-dimension
+/// digit-permutation scrambling (seeded), which removes the well-known
+/// correlation artifacts of plain Halton in higher dimensions. Supports up
+/// to 64 dimensions. `skip` drops the first points of the sequence.
+std::vector<la::Vector> scrambled_halton(std::size_t n, std::size_t dim,
+                                         rng::Rng& rng, std::size_t skip = 16);
+
+}  // namespace gptc::opt

@@ -1,0 +1,252 @@
+#include "space/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gptc::space {
+
+Parameter Parameter::real(std::string name, double lower, double upper) {
+  if (!(lower < upper))
+    throw std::invalid_argument("Parameter::real: lower must be < upper");
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::Real;
+  p.lower_ = lower;
+  p.upper_ = upper;
+  return p;
+}
+
+Parameter Parameter::integer(std::string name, std::int64_t lower,
+                             std::int64_t upper) {
+  if (!(lower < upper))
+    throw std::invalid_argument("Parameter::integer: lower must be < upper");
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::Integer;
+  p.lower_ = static_cast<double>(lower);
+  p.upper_ = static_cast<double>(upper);
+  return p;
+}
+
+Parameter Parameter::categorical(std::string name,
+                                 std::vector<std::string> categories) {
+  if (categories.empty())
+    throw std::invalid_argument("Parameter::categorical: no categories");
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::Categorical;
+  p.categories_ = std::move(categories);
+  p.lower_ = 0.0;
+  p.upper_ = static_cast<double>(p.categories_.size());
+  return p;
+}
+
+std::size_t Parameter::cardinality() const {
+  switch (kind_) {
+    case ParamKind::Real: return 0;
+    case ParamKind::Integer:
+      return static_cast<std::size_t>(upper_ - lower_);
+    case ParamKind::Categorical: return categories_.size();
+  }
+  return 0;
+}
+
+double Parameter::encode(const Value& v) const {
+  switch (kind_) {
+    case ParamKind::Real: {
+      const double x = std::clamp(v.as_double(), lower_,
+                                  std::nexttoward(upper_, lower_));
+      return (x - lower_) / (upper_ - lower_);
+    }
+    case ParamKind::Integer: {
+      const auto n = static_cast<double>(cardinality());
+      double i = static_cast<double>(v.as_int()) - lower_;
+      i = std::clamp(i, 0.0, n - 1.0);
+      return (i + 0.5) / n;  // bin center
+    }
+    case ParamKind::Categorical: {
+      const auto& s = v.as_string();
+      const auto it = std::find(categories_.begin(), categories_.end(), s);
+      if (it == categories_.end())
+        throw std::invalid_argument("unknown category '" + s + "' for " +
+                                    name_);
+      const auto idx =
+          static_cast<double>(std::distance(categories_.begin(), it));
+      return (idx + 0.5) / static_cast<double>(categories_.size());
+    }
+  }
+  return 0.0;
+}
+
+Value Parameter::decode(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  switch (kind_) {
+    case ParamKind::Real: {
+      const double x = lower_ + u * (upper_ - lower_);
+      return Value(std::min(x, std::nexttoward(upper_, lower_)));
+    }
+    case ParamKind::Integer: {
+      const auto n = static_cast<double>(cardinality());
+      auto i = static_cast<std::int64_t>(std::floor(u * n));
+      i = std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(n) - 1);
+      return Value(static_cast<std::int64_t>(lower_) + i);
+    }
+    case ParamKind::Categorical: {
+      const auto n = categories_.size();
+      auto i = static_cast<std::size_t>(
+          std::floor(u * static_cast<double>(n)));
+      i = std::min(i, n - 1);
+      return Value(categories_[i]);
+    }
+  }
+  return Value();
+}
+
+bool Parameter::contains(const Value& v) const {
+  switch (kind_) {
+    case ParamKind::Real:
+      return v.is_number() && v.as_double() >= lower_ && v.as_double() < upper_;
+    case ParamKind::Integer: {
+      if (!v.is_number()) return false;
+      const double d = v.as_double();
+      if (std::nearbyint(d) != d) return false;
+      return d >= lower_ && d < upper_;
+    }
+    case ParamKind::Categorical:
+      return v.is_string() &&
+             std::find(categories_.begin(), categories_.end(),
+                       v.as_string()) != categories_.end();
+  }
+  return false;
+}
+
+Value Parameter::sample(rng::Rng& rng) const { return decode(rng.uniform()); }
+
+json::Json Parameter::to_json() const {
+  json::Json j = json::Json::object();
+  j["name"] = name_;
+  switch (kind_) {
+    case ParamKind::Real:
+      j["type"] = "real";
+      j["lower_bound"] = lower_;
+      j["upper_bound"] = upper_;
+      break;
+    case ParamKind::Integer:
+      j["type"] = "integer";
+      j["lower_bound"] = static_cast<std::int64_t>(lower_);
+      j["upper_bound"] = static_cast<std::int64_t>(upper_);
+      break;
+    case ParamKind::Categorical: {
+      j["type"] = "categorical";
+      json::Json cats = json::Json::array();
+      for (const auto& c : categories_) cats.push_back(c);
+      j["categories"] = std::move(cats);
+      break;
+    }
+  }
+  return j;
+}
+
+Parameter Parameter::from_json(const json::Json& j) {
+  const auto& name = j.at("name").as_string();
+  const auto& type = j.at("type").as_string();
+  if (type == "real")
+    return real(name, j.at("lower_bound").as_double(),
+                j.at("upper_bound").as_double());
+  if (type == "integer" || type == "int")
+    return integer(name, j.at("lower_bound").as_int(),
+                   j.at("upper_bound").as_int());
+  if (type == "categorical") {
+    std::vector<std::string> cats;
+    for (const auto& c : j.at("categories").as_array())
+      cats.push_back(c.as_string());
+    return categorical(name, std::move(cats));
+  }
+  throw std::invalid_argument("Parameter::from_json: unknown type " + type);
+}
+
+Space::Space(std::vector<Parameter> params) : params_(std::move(params)) {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    for (std::size_t k = i + 1; k < params_.size(); ++k)
+      if (params_[i].name() == params_[k].name())
+        throw std::invalid_argument("Space: duplicate parameter name " +
+                                    params_[i].name());
+}
+
+std::optional<std::size_t> Space::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (params_[i].name() == name) return i;
+  return std::nullopt;
+}
+
+la::Vector Space::encode(const Config& c) const {
+  if (c.size() != dim())
+    throw std::invalid_argument("Space::encode: config size mismatch");
+  la::Vector u(dim());
+  for (std::size_t i = 0; i < dim(); ++i) u[i] = params_[i].encode(c[i]);
+  return u;
+}
+
+Config Space::decode(const la::Vector& u) const {
+  if (u.size() != dim())
+    throw std::invalid_argument("Space::decode: point size mismatch");
+  Config c(dim());
+  for (std::size_t i = 0; i < dim(); ++i) c[i] = params_[i].decode(u[i]);
+  return c;
+}
+
+bool Space::contains(const Config& c) const {
+  if (c.size() != dim()) return false;
+  for (std::size_t i = 0; i < dim(); ++i)
+    if (!params_[i].contains(c[i])) return false;
+  return true;
+}
+
+Config Space::sample(rng::Rng& rng) const {
+  Config c(dim());
+  for (std::size_t i = 0; i < dim(); ++i) c[i] = params_[i].sample(rng);
+  return c;
+}
+
+json::Json Space::config_to_json(const Config& c) const {
+  if (c.size() != dim())
+    throw std::invalid_argument("config_to_json: size mismatch");
+  json::Json obj = json::Json::object();
+  for (std::size_t i = 0; i < dim(); ++i) obj[params_[i].name()] = c[i];
+  return obj;
+}
+
+Config Space::config_from_json(const json::Json& obj) const {
+  Config c(dim());
+  for (std::size_t i = 0; i < dim(); ++i)
+    c[i] = obj.at(params_[i].name());
+  return c;
+}
+
+json::Json Space::to_json() const {
+  json::Json arr = json::Json::array();
+  for (const auto& p : params_) arr.push_back(p.to_json());
+  return arr;
+}
+
+Space Space::from_json(const json::Json& arr) {
+  std::vector<Parameter> params;
+  for (const auto& p : arr.as_array()) params.push_back(Parameter::from_json(p));
+  return Space(std::move(params));
+}
+
+json::Json TuningProblem::problem_space_json() const {
+  json::Json j = json::Json::object();
+  j["input_space"] = task_space.to_json();
+  j["parameter_space"] = param_space.to_json();
+  json::Json out = json::Json::array();
+  json::Json y = json::Json::object();
+  y["name"] = output_name;
+  y["type"] = "real";
+  out.push_back(std::move(y));
+  j["output_space"] = std::move(out);
+  return j;
+}
+
+}  // namespace gptc::space

@@ -1,0 +1,43 @@
+// Fill-reducing orderings for the SuperLU_DIST simulator's COLPERM
+// parameter.
+//
+// COLPERM in SuperLU_DIST selects among NATURAL, MMD_AT+A-style minimum
+// degree and METIS-style orderings. Here NATURAL and RCM are exact
+// classical algorithms; MMD is a (non-approximate) minimum-degree
+// elimination with explicit clique formation, which on the reduced-size
+// matrices is affordable and produces genuinely lower fill — so the
+// dominant sensitivity of COLPERM in Table IV emerges from real ordering
+// quality differences, not from a hard-coded lookup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/pattern.hpp"
+
+namespace gptc::sparse {
+
+/// A permutation: perm[new_index] = old_index.
+using Permutation = std::vector<int>;
+
+/// Identity ordering.
+Permutation natural_ordering(const SparsityPattern& pattern);
+
+/// Reverse Cuthill–McKee from a pseudo-peripheral start vertex: reduces
+/// bandwidth (and usually fill, moderately).
+Permutation rcm_ordering(const SparsityPattern& pattern);
+
+/// Minimum-degree elimination ordering with explicit fill cliques — the
+/// strong fill reducer, standing in for MMD/METIS.
+Permutation minimum_degree_ordering(const SparsityPattern& pattern);
+
+/// Resolves a COLPERM choice by name ("NATURAL", "RCM", "MMD_AT_PLUS_A",
+/// "METIS_AT_PLUS_A" — the latter two both map to minimum degree, with
+/// METIS modeled as a slightly better variant via a tie-break seed).
+Permutation colperm_ordering(const SparsityPattern& pattern,
+                             const std::string& name);
+
+/// True if perm is a permutation of [0, n).
+bool is_permutation(const Permutation& perm, std::size_t n);
+
+}  // namespace gptc::sparse

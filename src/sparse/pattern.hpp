@@ -1,0 +1,69 @@
+// Sparse-matrix substrate for the SuperLU_DIST / NIMROD simulators.
+//
+// SuperLU_DIST's tuning parameters act through the symbolic structure of
+// the factorization: COLPERM picks a fill-reducing ordering, NSUP/NREL
+// shape the supernode partition. To reproduce Table IV's sensitivity
+// structure honestly, this module runs the real pipeline — pattern
+// generation, ordering (natural / RCM / minimum degree), elimination tree,
+// exact symbolic fill, fundamental + relaxed supernodes — on synthetic
+// matrices whose statistics mimic the paper's PARSEC matrices (Si5H12,
+// H2O: DFT Hamiltonians, ~30-40 nonzeros/row, banded with long-range
+// couplings), scaled down so the analysis runs on one core in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace gptc::sparse {
+
+/// Symmetric sparsity pattern in CSR form. Only the pattern is stored —
+/// the simulators cost out numerics analytically. Diagonal entries are
+/// implicit. Column indices within a row are sorted and unique, and the
+/// pattern is symmetric by construction (a_ij present iff a_ji present).
+class SparsityPattern {
+ public:
+  SparsityPattern() = default;
+
+  /// Builds from an edge list (both directions inserted automatically;
+  /// self-loops and duplicates dropped).
+  static SparsityPattern from_edges(
+      std::size_t n, const std::vector<std::pair<int, int>>& edges);
+
+  std::size_t size() const { return n_; }
+  /// Off-diagonal nonzeros (both triangles).
+  std::size_t num_nonzeros() const { return col_idx_.size(); }
+
+  /// Neighbors of row i (excluding i itself), sorted.
+  std::vector<int> const& neighbors(int i) const { return adj_[i]; }
+
+  double average_degree() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<int> col_idx_;            // flattened (for nnz accounting)
+  std::vector<std::vector<int>> adj_;   // adjacency lists
+};
+
+/// 2-D five-point grid Laplacian pattern (nx * ny unknowns).
+SparsityPattern grid_2d(int nx, int ny);
+
+/// 3-D seven-point grid Laplacian pattern.
+SparsityPattern grid_3d(int nx, int ny, int nz);
+
+/// PARSEC-like pattern: banded core (local couplings in a real-space DFT
+/// Hamiltonian) plus random long-range entries. `band` controls the
+/// half-bandwidth, `long_range_per_row` the average number of distant
+/// couplings.
+SparsityPattern parsec_like(std::size_t n, int band, double long_range_per_row,
+                            std::uint64_t seed);
+
+/// The two evaluation matrices of Sec. VI-D at reduced scale. Both use the
+/// same generator family (same sparsity character — the paper stresses the
+/// matrices share a sparsity pattern family), with different sizes/seeds.
+SparsityPattern si5h12_like();  // analysis matrix (Table IV)
+SparsityPattern h2o_like();     // tuning matrix (Fig. 6)
+
+}  // namespace gptc::sparse

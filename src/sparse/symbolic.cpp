@@ -1,0 +1,216 @@
+#include "sparse/symbolic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gptc::sparse {
+
+std::size_t SymbolicFactor::fill() const {
+  std::size_t total = 0;
+  for (std::size_t c : col_count) total += c;
+  return total;
+}
+
+double SymbolicFactor::factor_flops() const {
+  double total = 0.0;
+  for (std::size_t c : col_count) {
+    const auto cd = static_cast<double>(c);
+    total += cd * cd;
+  }
+  return total;
+}
+
+SymbolicFactor symbolic_factorize(const SparsityPattern& pattern,
+                                  const Permutation& perm) {
+  const std::size_t n = pattern.size();
+  if (!is_permutation(perm, n))
+    throw std::invalid_argument("symbolic_factorize: invalid permutation");
+
+  // inverse permutation: old index -> new index.
+  std::vector<int> inv(n);
+  for (std::size_t k = 0; k < n; ++k)
+    inv[static_cast<std::size_t>(perm[k])] = static_cast<int>(k);
+
+  // Full symbolic elimination. struct_[j] holds the sorted row indices of
+  // factor column j strictly below the diagonal. Each child's structure is
+  // consumed exactly once by its parent, so total work is O(fill).
+  std::vector<std::vector<int>> structure(n);
+  std::vector<std::vector<int>> children(n);
+  SymbolicFactor sym;
+  sym.parent.assign(n, -1);
+  sym.col_count.assign(n, 1);  // diagonal
+
+  std::vector<int> mark(n, -1);
+  std::vector<int> scratch;
+  for (std::size_t j = 0; j < n; ++j) {
+    scratch.clear();
+    const int jj = static_cast<int>(j);
+    mark[j] = jj;
+    // Original matrix entries below the diagonal (in the new ordering).
+    for (int nbr_old : pattern.neighbors(perm[j])) {
+      const int i = inv[static_cast<std::size_t>(nbr_old)];
+      if (i > jj && mark[static_cast<std::size_t>(i)] != jj) {
+        mark[static_cast<std::size_t>(i)] = jj;
+        scratch.push_back(i);
+      }
+    }
+    // Children's structures minus their first entry (which is j itself).
+    for (int c : children[j]) {
+      const auto& cs = structure[static_cast<std::size_t>(c)];
+      for (std::size_t k = 1; k < cs.size(); ++k) {
+        const int i = cs[k];
+        if (mark[static_cast<std::size_t>(i)] != jj) {
+          mark[static_cast<std::size_t>(i)] = jj;
+          scratch.push_back(i);
+        }
+      }
+      structure[static_cast<std::size_t>(c)].clear();
+      structure[static_cast<std::size_t>(c)].shrink_to_fit();
+    }
+    std::sort(scratch.begin(), scratch.end());
+    sym.col_count[j] += scratch.size();
+    if (!scratch.empty()) {
+      sym.parent[j] = scratch.front();
+      children[static_cast<std::size_t>(scratch.front())].push_back(jj);
+    }
+    structure[j] = scratch;
+  }
+
+  // Relabel columns by an etree postorder. A postorder is an equivalent
+  // elimination order (same fill, same tree shape) but it makes every
+  // subtree a contiguous column range — which is what lets relaxed
+  // supernode amalgamation find its subtrees (solvers do exactly this).
+  std::vector<int> postorder;
+  postorder.reserve(n);
+  {
+    for (std::size_t r = 0; r < n; ++r) {
+      if (sym.parent[r] != -1) continue;
+      // Iterative DFS emitting children before parents.
+      std::vector<std::pair<int, std::size_t>> frames;
+      frames.emplace_back(static_cast<int>(r), 0);
+      while (!frames.empty()) {
+        auto& [node, next_child] = frames.back();
+        const auto& kids = children[static_cast<std::size_t>(node)];
+        if (next_child < kids.size()) {
+          const int c = kids[next_child++];
+          frames.emplace_back(c, 0);
+        } else {
+          postorder.push_back(node);
+          frames.pop_back();
+        }
+      }
+    }
+  }
+  std::vector<int> rank(n);  // old label -> postorder label
+  for (std::size_t k = 0; k < n; ++k)
+    rank[static_cast<std::size_t>(postorder[k])] = static_cast<int>(k);
+  SymbolicFactor out;
+  out.parent.assign(n, -1);
+  out.col_count.assign(n, 0);
+  for (std::size_t old = 0; old < n; ++old) {
+    const auto nw = static_cast<std::size_t>(rank[old]);
+    out.col_count[nw] = sym.col_count[old];
+    out.parent[nw] = sym.parent[old] < 0
+                         ? -1
+                         : rank[static_cast<std::size_t>(sym.parent[old])];
+  }
+  return out;
+}
+
+double SupernodePartition::average_width() const {
+  if (supernodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : supernodes) total += s.width();
+  return total / static_cast<double>(supernodes.size());
+}
+
+SupernodePartition build_supernodes(const SymbolicFactor& symbolic,
+                                    int max_supernode, int relax) {
+  const std::size_t n = symbolic.n();
+  if (max_supernode < 1)
+    throw std::invalid_argument("build_supernodes: max_supernode < 1");
+  if (relax < 1) throw std::invalid_argument("build_supernodes: relax < 1");
+
+  // Number of children per etree node (needed for the fundamental test:
+  // merging j into j+1 also requires j to be the only child, otherwise
+  // another subtree's structure flows into j+1).
+  std::vector<int> num_children(n, 0);
+  for (std::size_t j = 0; j < n; ++j)
+    if (symbolic.parent[j] >= 0)
+      ++num_children[static_cast<std::size_t>(symbolic.parent[j])];
+
+  // Subtree sizes for relaxed amalgamation (columns are in a topological
+  // order: parent > child, so one backward-to-forward pass accumulates).
+  std::vector<int> subtree(n, 1);
+  for (std::size_t j = 0; j < n; ++j)
+    if (symbolic.parent[j] >= 0)
+      subtree[static_cast<std::size_t>(symbolic.parent[j])] += subtree[j];
+
+  // Relaxed roots: maximal etree subtrees of at most `relax` columns. The
+  // columns are postordered, so the subtree of root r is exactly the
+  // contiguous range [r - subtree[r] + 1, r]. range_root[s] = r marks a
+  // relaxed range starting at column s.
+  std::vector<int> range_root(n, -1);
+  for (std::size_t r = 0; r < n; ++r) {
+    // Single-column subtrees gain nothing from relaxation and would only
+    // break fundamental chains crossing them, so require >= 2 columns.
+    const bool small = subtree[r] <= relax && subtree[r] >= 2;
+    const bool parent_big =
+        symbolic.parent[r] < 0 ||
+        subtree[static_cast<std::size_t>(symbolic.parent[r])] > relax;
+    if (small && parent_big)
+      range_root[r + 1 - static_cast<std::size_t>(subtree[r])] =
+          static_cast<int>(r);
+  }
+
+  SupernodePartition part;
+  const auto emit = [&](std::size_t begin, std::size_t end) {
+    // Emit [begin, end) in chunks of at most max_supernode columns.
+    std::size_t s = begin;
+    while (s < end) {
+      const std::size_t e =
+          std::min(end, s + static_cast<std::size_t>(max_supernode));
+      Supernode sn;
+      sn.begin = static_cast<int>(s);
+      sn.end = static_cast<int>(e);
+      std::size_t max_count = 0;
+      for (std::size_t c = s; c < e; ++c)
+        max_count = std::max(max_count, symbolic.col_count[c] + (c - s));
+      sn.rows = max_count;
+      // Every column is stored with the supernode's union structure; the
+      // padding beyond its own count is artificial (relaxation) fill.
+      for (std::size_t c = s; c < e; ++c) {
+        const std::size_t stored = max_count - (c - s);
+        if (stored > symbolic.col_count[c])
+          part.relax_fill += stored - symbolic.col_count[c];
+      }
+      part.supernodes.push_back(sn);
+      s = e;
+    }
+  };
+
+  std::size_t j = 0;
+  while (j < n) {
+    if (range_root[j] >= 0) {
+      // A relaxed subtree: one (possibly split) supernode.
+      emit(j, static_cast<std::size_t>(range_root[j]) + 1);
+      j = static_cast<std::size_t>(range_root[j]) + 1;
+      continue;
+    }
+    // Fundamental supernode: extend while the next column is the parent
+    // with a single child and a structure that shrinks by exactly one.
+    std::size_t k = j;
+    while (k + 1 < n && static_cast<int>(k + 1 - j) < max_supernode &&
+           range_root[k + 1] < 0 &&
+           symbolic.parent[k] == static_cast<int>(k + 1) &&
+           num_children[k + 1] == 1 &&
+           symbolic.col_count[k + 1] == symbolic.col_count[k] - 1) {
+      ++k;
+    }
+    emit(j, k + 1);
+    j = k + 1;
+  }
+  return part;
+}
+
+}  // namespace gptc::sparse

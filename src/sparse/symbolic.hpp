@@ -1,0 +1,70 @@
+// Symbolic factorization: elimination tree, exact fill, supernodes.
+//
+// Given a (symmetric) pattern and an ordering, this computes the structure
+// a sparse direct solver would compute in its analysis phase:
+//   * the elimination tree,
+//   * exact per-column factor counts (via full symbolic elimination —
+//     affordable at the reduced matrix sizes this repo uses),
+//   * fundamental supernodes (parent[j] == j+1 and |L_{j+1}| == |L_j| - 1),
+//   * relaxed supernodes (small etree subtrees amalgamated, SuperLU's
+//     `relax`/NREL knob) with the extra artificial fill they introduce,
+//   * a cap on supernode width (SuperLU's NSUP / maxsup knob).
+// The SuperLU_DIST cost model consumes the resulting supernode partition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/ordering.hpp"
+#include "sparse/pattern.hpp"
+
+namespace gptc::sparse {
+
+struct SymbolicFactor {
+  /// parent[j] in the elimination tree, -1 for roots (post-ordering
+  /// indices, i.e. after applying the permutation).
+  std::vector<int> parent;
+  /// Number of nonzeros in factor column j, including the diagonal.
+  std::vector<std::size_t> col_count;
+
+  std::size_t n() const { return parent.size(); }
+  /// Total factor nonzeros (one triangle).
+  std::size_t fill() const;
+  /// Cholesky-style factorization flops: sum_j col_count[j]^2. (An LU on a
+  /// symmetric pattern costs ~2x; the cost model applies that factor.)
+  double factor_flops() const;
+};
+
+/// Symbolic elimination of the permuted pattern.
+SymbolicFactor symbolic_factorize(const SparsityPattern& pattern,
+                                  const Permutation& perm);
+
+/// One supernode: columns [begin, end) plus the column count of its first
+/// column after any relaxation padding.
+struct Supernode {
+  int begin = 0;
+  int end = 0;
+  std::size_t rows = 0;  // |struct(L_{:,begin})| incl. diagonal block
+
+  int width() const { return end - begin; }
+};
+
+struct SupernodePartition {
+  std::vector<Supernode> supernodes;
+  /// Artificial nonzeros introduced by relaxed amalgamation.
+  std::size_t relax_fill = 0;
+
+  std::size_t count() const { return supernodes.size(); }
+  double average_width() const;
+};
+
+/// Builds the supernode partition under SuperLU's knobs:
+///   max_supernode (NSUP): hard cap on supernode width;
+///   relax (NREL): etree subtrees of at most this many columns are
+///     amalgamated into one supernode even when structures differ,
+///     padding columns to the supernode's union structure (counted in
+///     relax_fill).
+SupernodePartition build_supernodes(const SymbolicFactor& symbolic,
+                                    int max_supernode, int relax);
+
+}  // namespace gptc::sparse

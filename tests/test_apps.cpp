@@ -1,0 +1,377 @@
+// Tests of the application simulators: the synthetic functions and the
+// PDGEQRF / NIMROD / SuperLU_DIST / Hypre performance models. These check
+// the *mechanisms* the paper's experiments rely on (parameter effects,
+// failure modes, task correlation), not absolute numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/hypre.hpp"
+#include "apps/nimrod.hpp"
+#include "apps/pdgeqrf.hpp"
+#include "apps/superlu.hpp"
+#include "apps/synthetic.hpp"
+
+namespace gptc::apps {
+namespace {
+
+using space::Config;
+using space::Value;
+
+// ---------------------------------------------------------------------------
+// Synthetic functions
+
+TEST(Synthetic, DemoMatchesClosedForm) {
+  // t = 0: y = 1 + e^{-(x+1)} cos(2 pi x) * sum_i sin(2 pi x 2^i).
+  const double x = 0.3;
+  double s = 0.0;
+  for (int i = 1; i <= 3; ++i)
+    s += std::sin(2.0 * M_PI * x * std::pow(2.0, i));
+  const double expected =
+      1.0 + std::exp(-(x + 1.0)) * std::cos(2.0 * M_PI * x) * s;
+  EXPECT_NEAR(demo_function(0.0, x), expected, 1e-12);
+}
+
+TEST(Synthetic, DemoProblemEvaluates) {
+  const auto p = make_demo_problem();
+  EXPECT_EQ(p.task_space.dim(), 1u);
+  EXPECT_EQ(p.param_space.dim(), 1u);
+  const double y = p.objective({Value(1.0)}, {Value(0.25)});
+  EXPECT_NEAR(y, demo_function(1.0, 0.25), 1e-12);
+}
+
+TEST(Synthetic, BraninStandardMinimum) {
+  // Branin's three global minima have value ~0.397887 at the standard
+  // constants.
+  const auto task = branin_standard_task();
+  const auto p = make_branin_problem();
+  const double at_min =
+      p.objective(task, {Value(M_PI), Value(2.275)});
+  EXPECT_NEAR(at_min, 0.397887, 1e-4);
+  const double elsewhere = p.objective(task, {Value(-3.0), Value(14.0)});
+  EXPECT_GT(elsewhere, at_min + 1.0);
+}
+
+TEST(Synthetic, BraninTasksAreCorrelated) {
+  // Nearby tasks should rank configurations similarly: evaluate two
+  // configurations under two nearby tasks and expect consistent ordering.
+  const auto p = make_branin_problem();
+  rng::Rng rng(3);
+  const Config t1 = branin_standard_task();
+  Config t2 = t1;
+  t2[4] = Value(t1[4].as_double() * 1.1);  // perturb s
+  const Config good = {Value(M_PI), Value(2.275)};
+  const Config bad = {Value(-4.5), Value(0.5)};
+  EXPECT_LT(p.objective(t1, good), p.objective(t1, bad));
+  EXPECT_LT(p.objective(t2, good), p.objective(t2, bad));
+}
+
+// ---------------------------------------------------------------------------
+// PDGEQRF
+
+class PdgeqrfTest : public ::testing::Test {
+ protected:
+  hpcsim::MachineModel hsw_ = hpcsim::MachineModel::cori_haswell();
+  PdgeqrfConfig base_;  // mb=4 nb=4 lg2npernode=5 p=16
+};
+
+TEST_F(PdgeqrfTest, RuntimePositiveAndFinite) {
+  const double t = pdgeqrf_time(hsw_, 8, 10000, 10000, base_, 1);
+  EXPECT_TRUE(std::isfinite(t));
+  EXPECT_GT(t, 0.0);
+}
+
+TEST_F(PdgeqrfTest, LargerMatricesTakeLonger) {
+  EXPECT_LT(pdgeqrf_time(hsw_, 8, 6000, 6000, base_, 1),
+            pdgeqrf_time(hsw_, 8, 10000, 10000, base_, 1));
+}
+
+TEST_F(PdgeqrfTest, TinyBlocksAreSlow) {
+  PdgeqrfConfig tiny = base_;
+  tiny.nb = 1;
+  EXPECT_GT(pdgeqrf_time(hsw_, 8, 10000, 10000, tiny, 1),
+            pdgeqrf_time(hsw_, 8, 10000, 10000, base_, 1));
+}
+
+TEST_F(PdgeqrfTest, ExtremeGridsAreSlow) {
+  PdgeqrfConfig row = base_, col = base_;
+  row.p = 1;    // 1 x 256: no panel parallelism
+  col.p = 255;  // 255 x 1: no update parallelism
+  const double mid = pdgeqrf_time(hsw_, 8, 10000, 10000, base_, 1);
+  EXPECT_GT(pdgeqrf_time(hsw_, 8, 10000, 10000, row, 1), mid);
+  EXPECT_GT(pdgeqrf_time(hsw_, 8, 10000, 10000, col, 1), mid);
+}
+
+TEST_F(PdgeqrfTest, OutOfMemoryFails) {
+  PdgeqrfConfig solo = base_;
+  solo.lg2npernode = 0;  // a single rank owns the whole node's 128 GB
+  solo.p = 1;
+  // 150k x 150k doubles = 180 GB on a 128 GB node: must fail.
+  const double t = pdgeqrf_time(hsw_, 1, 150000, 150000, solo, 1);
+  EXPECT_TRUE(std::isnan(t));
+  // The same matrix spread over 8 nodes fits.
+  PdgeqrfConfig spread = base_;
+  EXPECT_TRUE(std::isfinite(pdgeqrf_time(hsw_, 8, 150000, 150000, spread, 1)));
+}
+
+TEST_F(PdgeqrfTest, DeterministicAndNoisy) {
+  const double a = pdgeqrf_time(hsw_, 8, 10000, 10000, base_, 1);
+  EXPECT_DOUBLE_EQ(a, pdgeqrf_time(hsw_, 8, 10000, 10000, base_, 1));
+  EXPECT_NE(a, pdgeqrf_time(hsw_, 8, 10000, 10000, base_, 99));
+}
+
+TEST_F(PdgeqrfTest, InvalidConfigThrows) {
+  PdgeqrfConfig bad = base_;
+  bad.mb = 0;
+  EXPECT_THROW(pdgeqrf_time(hsw_, 8, 100, 100, bad, 1),
+               std::invalid_argument);
+  EXPECT_THROW(pdgeqrf_time(hsw_, 8, 0, 100, base_, 1),
+               std::invalid_argument);
+}
+
+TEST_F(PdgeqrfTest, ProblemSpaceMatchesTableII) {
+  const auto p = make_pdgeqrf_problem(hsw_, 8);
+  ASSERT_EQ(p.param_space.dim(), 4u);
+  EXPECT_EQ(p.param_space[0].name(), "mb");
+  EXPECT_EQ(p.param_space[1].name(), "nb");
+  EXPECT_EQ(p.param_space[2].name(), "lg2npernode");
+  EXPECT_EQ(p.param_space[3].name(), "p");
+  // mb, nb in [1, 16); lg2npernode in [0, 5) on 32-core nodes; p in
+  // [1, 256) on 8 nodes.
+  EXPECT_EQ(p.param_space[0].cardinality(), 15u);
+  EXPECT_EQ(p.param_space[2].cardinality(), 5u);
+  EXPECT_EQ(p.param_space[3].cardinality(), 255u);
+  const double y = p.objective({Value(std::int64_t{10000}),
+                                Value(std::int64_t{10000})},
+                               {Value(std::int64_t{4}), Value(std::int64_t{4}),
+                                Value(std::int64_t{5}), Value(std::int64_t{16})});
+  EXPECT_TRUE(std::isfinite(y));
+}
+
+// ---------------------------------------------------------------------------
+// SuperLU_DIST
+
+class SuperluTest : public ::testing::Test {
+ protected:
+  SuperluTest()
+      : alloc_{hpcsim::MachineModel::cori_haswell(), 4, 32},
+        sim_(sparse::parsec_like(400, 12, 1.0, 9), 7) {}
+
+  hpcsim::Allocation alloc_;
+  SuperluDistSim sim_;
+  SuperluConfig base_;
+};
+
+TEST_F(SuperluTest, OrderingQualityShowsInRuntime) {
+  SuperluConfig nat = base_, md = base_;
+  nat.colperm = "NATURAL";
+  md.colperm = "MMD_AT_PLUS_A";
+  EXPECT_LT(sim_.factor_time(md, alloc_), sim_.factor_time(nat, alloc_));
+}
+
+TEST_F(SuperluTest, SymbolicCacheSharesMmdAndMetis) {
+  // METIS maps to the same canonical ordering as MMD: identical symbolic.
+  EXPECT_EQ(&sim_.symbolic("MMD_AT_PLUS_A"), &sim_.symbolic("METIS_AT_PLUS_A"));
+  EXPECT_NE(&sim_.symbolic("MMD_AT_PLUS_A"), &sim_.symbolic("NATURAL"));
+}
+
+TEST_F(SuperluTest, GridShapeHasInteriorOptimum) {
+  const auto time_at = [&](int nprows) {
+    SuperluConfig c = base_;
+    c.nprows = nprows;
+    return sim_.factor_time(c, alloc_);
+  };
+  const double flat = time_at(1);
+  const double mid = time_at(8);
+  const double tall = time_at(128);
+  EXPECT_LT(mid, flat);
+  EXPECT_LT(mid, tall);
+}
+
+TEST_F(SuperluTest, SolveTimeScalesWithFill) {
+  SuperluConfig nat = base_, md = base_;
+  nat.colperm = "NATURAL";
+  md.colperm = "MMD_AT_PLUS_A";
+  EXPECT_LT(sim_.solve_time(md, alloc_), sim_.solve_time(nat, alloc_));
+}
+
+TEST_F(SuperluTest, MemoryGrowsWithLookaheadAndShrinksWithRanks) {
+  SuperluConfig deep = base_;
+  deep.lookahead = 19;
+  EXPECT_GT(sim_.memory_per_rank(deep, 16), sim_.memory_per_rank(base_, 16));
+  EXPECT_GT(sim_.memory_per_rank(base_, 4), sim_.memory_per_rank(base_, 64));
+}
+
+TEST_F(SuperluTest, InvalidConfigThrows) {
+  SuperluConfig bad = base_;
+  bad.nsup = 0;
+  EXPECT_THROW(sim_.factor_time(bad, alloc_), std::invalid_argument);
+  bad = base_;
+  bad.colperm = "BOGUS";
+  EXPECT_THROW(sim_.factor_time(bad, alloc_), std::invalid_argument);
+}
+
+TEST_F(SuperluTest, ProblemEvaluatesBothMatrices) {
+  const auto p = make_superlu_problem(alloc_, 7);
+  EXPECT_EQ(p.param_space.dim(), 5u);
+  const Config params = {Value("MMD_AT_PLUS_A"), Value(std::int64_t{10}),
+                         Value(std::int64_t{8}), Value(std::int64_t{128}),
+                         Value(std::int64_t{20})};
+  const double si = p.objective({Value("si5h12")}, params);
+  const double h2o = p.objective({Value("h2o")}, params);
+  EXPECT_TRUE(std::isfinite(si));
+  EXPECT_TRUE(std::isfinite(h2o));
+  EXPECT_GT(h2o, si);  // larger matrix, same density family
+}
+
+// ---------------------------------------------------------------------------
+// NIMROD
+
+class NimrodTest : public ::testing::Test {
+ protected:
+  hpcsim::MachineModel hsw_ = hpcsim::MachineModel::cori_haswell();
+  NimrodTask small_{5, 7, 1};
+  NimrodConfig base_;
+};
+
+TEST_F(NimrodTest, TaskHelpers) {
+  EXPECT_EQ(small_.mesh_x(), 32);
+  EXPECT_EQ(small_.mesh_y(), 128);
+  EXPECT_EQ(small_.fourier_modes(), 1);  // floor(2/3) + 1
+  NimrodTask t{5, 7, 3};
+  EXPECT_EQ(t.fourier_modes(), 3);  // floor(8/3) + 1
+}
+
+TEST_F(NimrodTest, MoreNodesRunFaster) {
+  NimrodSim sim32(hsw_, 32), sim64(hsw_, 64);
+  EXPECT_GT(sim32.run_time(small_, base_), sim64.run_time(small_, base_));
+}
+
+TEST_F(NimrodTest, BiggerProblemRunsLonger) {
+  NimrodSim sim(hsw_, 64);
+  NimrodTask big{6, 8, 1};
+  EXPECT_GT(sim.run_time(big, base_), sim.run_time(small_, base_));
+}
+
+TEST_F(NimrodTest, NpzTradesCommForMemoryAndFailsWhenTooDeep) {
+  NimrodSim sim(hsw_, 64);
+  NimrodTask big{6, 8, 1};
+  NimrodConfig shallow = base_, mid = base_, deep = base_;
+  shallow.npz = 0;
+  mid.npz = 2;
+  deep.npz = 4;
+  const double t0 = sim.run_time(big, shallow);
+  const double t2 = sim.run_time(big, mid);
+  EXPECT_LT(t2, t0);  // communication avoidance pays off...
+  EXPECT_TRUE(std::isnan(sim.run_time(big, deep)));  // ...until OOM
+  // The small problem survives deep replication.
+  EXPECT_TRUE(std::isfinite(sim.run_time(small_, deep)));
+}
+
+TEST_F(NimrodTest, KnlIsSlowerPerNodeHere) {
+  NimrodSim hsw(hsw_, 32);
+  NimrodSim knl(hpcsim::MachineModel::cori_knl(), 32);
+  // Weak KNL cores hurt the latency-sensitive solver phases at this scale.
+  EXPECT_GT(knl.run_time(small_, base_), hsw.run_time(small_, base_));
+}
+
+TEST_F(NimrodTest, ProblemSpaceMatchesTableIII) {
+  const auto p = make_nimrod_problem(hsw_, 32);
+  ASSERT_EQ(p.param_space.dim(), 5u);
+  EXPECT_EQ(p.param_space[0].name(), "NSUP");
+  EXPECT_EQ(p.param_space[4].name(), "npz");
+  EXPECT_EQ(p.param_space[0].cardinality(), 270u);  // [30, 300)
+  EXPECT_EQ(p.param_space[4].cardinality(), 5u);    // [0, 5)
+  const double y = p.objective(
+      {Value(std::int64_t{5}), Value(std::int64_t{7}), Value(std::int64_t{1})},
+      {Value(std::int64_t{128}), Value(std::int64_t{20}),
+       Value(std::int64_t{1}), Value(std::int64_t{1}),
+       Value(std::int64_t{1})});
+  EXPECT_TRUE(std::isfinite(y));
+}
+
+// ---------------------------------------------------------------------------
+// Hypre
+
+class HypreTest : public ::testing::Test {
+ protected:
+  hpcsim::MachineModel hsw_ = hpcsim::MachineModel::cori_haswell();
+  HypreConfig base_;
+
+  double time_of(const HypreConfig& c) {
+    return hypre_time(hsw_, 100, 100, 100, c, 4);
+  }
+};
+
+TEST_F(HypreTest, CategoricalTablesHaveTableVCounts) {
+  EXPECT_EQ(hypre_coarsen_types().size(), 8u);
+  EXPECT_EQ(hypre_relax_types().size(), 6u);
+  EXPECT_EQ(hypre_smooth_types().size(), 5u);
+  EXPECT_EQ(hypre_interp_types().size(), 7u);
+}
+
+TEST_F(HypreTest, HeavySmoothersOnManyLevelsCostMore) {
+  HypreConfig cheap = base_, heavy = base_;
+  heavy.smooth_type = "Schwarz";
+  heavy.smooth_num_levels = 4;
+  EXPECT_GT(time_of(heavy), 2.0 * time_of(cheap));
+}
+
+TEST_F(HypreTest, AggressiveCoarseningCutsSmoothedHierarchyCost) {
+  HypreConfig smoothed = base_;
+  smoothed.smooth_type = "Schwarz";
+  smoothed.smooth_num_levels = 4;
+  HypreConfig agg = smoothed;
+  agg.agg_num_levels = 3;
+  EXPECT_LT(time_of(agg), time_of(smoothed));
+}
+
+TEST_F(HypreTest, ProcessCountSaturates) {
+  HypreConfig p1 = base_, p8 = base_, p31 = base_;
+  p1.nproc = 1;
+  p8.nproc = 8;
+  p31.nproc = 31;
+  const double t1 = time_of(p1), t8 = time_of(p8), t31 = time_of(p31);
+  EXPECT_GT(t1, t8);                 // parallelism helps at first...
+  EXPECT_GT(t8 / t31, 0.6);          // ...then bandwidth saturates
+}
+
+TEST_F(HypreTest, YSplitCostsMoreThanXSplit) {
+  HypreConfig xsplit = base_, ysplit = base_;
+  xsplit.px = 16;
+  xsplit.py = 1;
+  xsplit.nproc = 16;
+  ysplit.px = 1;
+  ysplit.py = 16;
+  ysplit.nproc = 16;
+  EXPECT_GT(time_of(ysplit), time_of(xsplit));
+}
+
+TEST_F(HypreTest, UnknownCategoricalsThrow) {
+  HypreConfig bad = base_;
+  bad.coarsen_type = "BOGUS";
+  EXPECT_THROW(time_of(bad), std::invalid_argument);
+  bad = base_;
+  bad.smooth_type = "BOGUS";
+  EXPECT_THROW(time_of(bad), std::invalid_argument);
+}
+
+TEST_F(HypreTest, ProblemSpaceMatchesTableV) {
+  const auto p = make_hypre_problem(hsw_);
+  ASSERT_EQ(p.param_space.dim(), 12u);
+  EXPECT_EQ(p.param_space[0].name(), "Px");
+  EXPECT_EQ(p.param_space[8].name(), "smooth_type");
+  EXPECT_EQ(p.param_space[11].name(), "agg_num_levels");
+  rng::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const double y = p.objective({Value(std::int64_t{100}),
+                                  Value(std::int64_t{100}),
+                                  Value(std::int64_t{100})},
+                                 p.param_space.sample(rng));
+    EXPECT_TRUE(std::isfinite(y));
+    EXPECT_GT(y, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gptc::apps

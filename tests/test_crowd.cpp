@@ -1,0 +1,449 @@
+// Tests for the crowd layer: environment parsing, meta descriptions, the
+// shared repository (users, API keys, access control, tag normalization,
+// queries) and the analytics utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "crowd/envparse.hpp"
+#include "crowd/meta.hpp"
+#include "crowd/repo.hpp"
+
+namespace gptc::crowd {
+namespace {
+
+using json::Json;
+using space::Parameter;
+using space::Space;
+using space::Value;
+
+// ---------------------------------------------------------------------------
+// Environment parsing
+
+TEST(Versions, ParseVersion) {
+  EXPECT_EQ(parse_version("9.3.0"), (std::vector<int>{9, 3, 0}));
+  EXPECT_EQ(parse_version("7"), (std::vector<int>{7}));
+  EXPECT_EQ(parse_version("3.11.2-rc1"), (std::vector<int>{3, 11, 2}));
+  EXPECT_TRUE(parse_version("abc").empty());
+}
+
+TEST(Versions, CompareAndRange) {
+  EXPECT_LT(compare_versions({8, 0, 0}, {9}), 0);
+  EXPECT_EQ(compare_versions({9, 0}, {9, 0, 0}), 0);
+  EXPECT_GT(compare_versions({9, 0, 1}, {9}), 0);
+  EXPECT_TRUE(version_in_range({8, 5}, {8, 0, 0}, {9, 0, 0}));
+  EXPECT_FALSE(version_in_range({9, 1}, {8, 0, 0}, {9, 0, 0}));
+  EXPECT_TRUE(version_in_range({1}, {}, {}));  // unconstrained
+}
+
+TEST(Spack, ParsesFullSpec) {
+  const auto spec = parse_spack_spec(
+      "superlu-dist@7.2.0%gcc@9.3.0+openmp~cuda arch=cray-cnl7-haswell");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->name, "superlu-dist");
+  EXPECT_EQ(spec->version, (std::vector<int>{7, 2, 0}));
+  EXPECT_EQ(spec->compiler, "gcc");
+  EXPECT_EQ(spec->compiler_version, (std::vector<int>{9, 3, 0}));
+  ASSERT_EQ(spec->variants.size(), 2u);
+  EXPECT_EQ(spec->variants[0], "+openmp");
+  EXPECT_EQ(spec->variants[1], "~cuda");
+  EXPECT_EQ(spec->arch, "cray-cnl7-haswell");
+}
+
+TEST(Spack, MinimalAndInvalidSpecs) {
+  const auto spec = parse_spack_spec("scalapack@2.1.0");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->name, "scalapack");
+  EXPECT_TRUE(spec->compiler.empty());
+  EXPECT_FALSE(parse_spack_spec("").has_value());
+  EXPECT_FALSE(parse_spack_spec("# a comment").has_value());
+  EXPECT_FALSE(parse_spack_spec("   ").has_value());
+}
+
+TEST(Spack, ManifestCollectsSoftwareAndCompilers) {
+  const Json sw = parse_spack_manifest(R"(# spack find output
+scalapack@2.1.0%gcc@9.3.0
+superlu-dist@7.2.0%gcc@9.3.0+openmp
+
+hypre@2.24.0%gcc@9.3.0
+)");
+  EXPECT_TRUE(sw.contains("scalapack"));
+  EXPECT_TRUE(sw.contains("superlu-dist"));
+  EXPECT_TRUE(sw.contains("hypre"));
+  EXPECT_TRUE(sw.contains("gcc"));  // compiler recorded as software too
+  EXPECT_EQ(sw.at("superlu-dist").at("version").at(std::size_t{0}).as_int(), 7);
+  EXPECT_EQ(sw.at("gcc").at("version").at(std::size_t{1}).as_int(), 3);
+}
+
+TEST(Slurm, ParsesEnvironment) {
+  const Json mc = parse_slurm_env({
+      {"SLURM_CLUSTER_NAME", "cori"},
+      {"SLURM_JOB_PARTITION", "haswell"},
+      {"SLURM_JOB_NUM_NODES", "8"},
+      {"SLURM_CPUS_ON_NODE", "32"},
+      {"SLURM_JOB_ID", "123456"},
+  });
+  EXPECT_EQ(mc.at("machine_name").as_string(), "cori");
+  EXPECT_EQ(mc.at("partition").as_string(), "haswell");
+  EXPECT_EQ(mc.at("nodes").as_int(), 8);
+  EXPECT_EQ(mc.at("cores").as_int(), 32);
+  EXPECT_EQ(mc.at("scheduler").as_string(), "slurm");
+}
+
+TEST(Slurm, MissingKeysAreOmitted) {
+  const Json mc = parse_slurm_env({{"SLURM_JOB_NUM_NODES", "4"}});
+  EXPECT_FALSE(mc.contains("machine_name"));
+  EXPECT_EQ(mc.at("nodes").as_int(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Meta description
+
+TEST(Meta, ParsesPaperExample) {
+  // The meta description from Sec. IV-A of the paper (normalized JSON).
+  const Json j = Json::parse(R"({
+    "api_key": "k",
+    "tuning_problem_name": "my_example",
+    "problem_space": {
+      "input_space": [
+        {"name":"t","type":"integer","lower_bound":1,"upper_bound":10}
+      ],
+      "parameter_space": [
+        {"name":"x","type":"real","lower_bound":0,"upper_bound":10}
+      ],
+      "output_space": [{"name":"y","type":"real"}]
+    },
+    "configuration_space": {
+      "machine_configurations": [
+        {"Cori": {"haswell": {"nodes": 1, "cores": 32}}}
+      ],
+      "software_configurations": [
+        {"gcc": {"version_from": [8,0,0], "version_to": [9,0,0]}}
+      ],
+      "user_configurations": ["user_A", "user_B"]
+    },
+    "machine_configuration": {"machine_name": "Cori", "slurm": "yes"},
+    "software_configuration": {"spack": "ScaLAPACK"},
+    "sync_crowd_repo": "yes"
+  })");
+  const MetaDescription m = MetaDescription::from_json(j);
+  EXPECT_EQ(m.tuning_problem_name, "my_example");
+  EXPECT_EQ(m.input_space.dim(), 1u);
+  EXPECT_EQ(m.parameter_space.dim(), 1u);
+  EXPECT_EQ(m.output_name, "y");
+  ASSERT_EQ(m.machine_filters.size(), 1u);
+  EXPECT_EQ(m.machine_filters[0].machine_name, "Cori");
+  EXPECT_EQ(m.machine_filters[0].partition, "haswell");
+  EXPECT_EQ(m.machine_filters[0].nodes_min.value(), 1);
+  EXPECT_EQ(m.machine_filters[0].cores_max.value(), 32);
+  ASSERT_EQ(m.software_filters.size(), 1u);
+  EXPECT_EQ(m.software_filters[0].name, "gcc");
+  EXPECT_EQ(m.software_filters[0].version_from, (std::vector<int>{8, 0, 0}));
+  ASSERT_EQ(m.user_filters.size(), 2u);
+  EXPECT_TRUE(m.sync_crowd_repo);
+}
+
+TEST(Meta, RoundTripThroughJson) {
+  MetaDescription m;
+  m.api_key = "key";
+  m.tuning_problem_name = "p";
+  m.parameter_space = Space({Parameter::integer("mb", 1, 16)});
+  MachineFilter f;
+  f.machine_name = "Cori";
+  f.partition = "knl";
+  f.nodes_min = 32;
+  f.nodes_max = 64;
+  m.machine_filters.push_back(f);
+  SoftwareFilter sf;
+  sf.name = "cray-mpich";
+  sf.version_from = {7, 7, 10};
+  m.software_filters.push_back(sf);
+  m.user_filters = {"alice"};
+  const MetaDescription back = MetaDescription::from_json(m.to_json());
+  EXPECT_EQ(back.tuning_problem_name, "p");
+  ASSERT_EQ(back.machine_filters.size(), 1u);
+  EXPECT_EQ(back.machine_filters[0].nodes_max.value(), 64);
+  ASSERT_EQ(back.software_filters.size(), 1u);
+  EXPECT_EQ(back.software_filters[0].version_from,
+            (std::vector<int>{7, 7, 10}));
+  EXPECT_EQ(back.user_filters[0], "alice");
+}
+
+// ---------------------------------------------------------------------------
+// SharedRepo
+
+class RepoTest : public ::testing::Test {
+ protected:
+  RepoTest() : repo_(7) {
+    alice_key_ = repo_.register_user("alice", "alice@lab.gov");
+    bob_key_ = repo_.register_user("bob", "bob@uni.edu");
+  }
+
+  EvalUpload make_upload(double mb, double runtime,
+                         const std::string& machine = "Cori",
+                         const std::string& partition = "haswell",
+                         int nodes = 8) {
+    EvalUpload e;
+    e.task_parameters = Json::parse(R"({"m":10000,"n":10000})");
+    Json tuning = Json::object();
+    tuning["mb"] = static_cast<std::int64_t>(mb);
+    e.tuning_parameters = std::move(tuning);
+    e.output = runtime;
+    Json mc = Json::object();
+    mc["machine_name"] = machine;
+    mc["partition"] = partition;
+    mc["nodes"] = std::int64_t{nodes};
+    mc["cores"] = std::int64_t{32};
+    e.machine_configuration = std::move(mc);
+    e.software_configuration =
+        parse_spack_manifest("scalapack@2.1.0%gcc@8.3.0");
+    return e;
+  }
+
+  MetaDescription base_meta(const std::string& key) {
+    MetaDescription m;
+    m.api_key = key;
+    m.tuning_problem_name = "pdgeqrf";
+    m.input_space = Space({Parameter::integer("m", 1000, 20000),
+                           Parameter::integer("n", 1000, 20000)});
+    m.parameter_space = Space({Parameter::integer("mb", 1, 16)});
+    return m;
+  }
+
+  SharedRepo repo_;
+  std::string alice_key_, bob_key_;
+};
+
+TEST_F(RepoTest, RegisterAndAuthenticate) {
+  EXPECT_EQ(repo_.num_users(), 2u);
+  EXPECT_EQ(repo_.authenticate(alice_key_).value(), "alice");
+  EXPECT_EQ(repo_.authenticate(bob_key_).value(), "bob");
+  EXPECT_FALSE(repo_.authenticate("bogus").has_value());
+  EXPECT_THROW(repo_.register_user("alice", "dup@x.y"), std::invalid_argument);
+}
+
+TEST_F(RepoTest, ApiKeysAre20CharsAndUnique) {
+  EXPECT_EQ(alice_key_.size(), 20u);
+  EXPECT_NE(alice_key_, bob_key_);
+  const std::string second = repo_.issue_api_key("alice");
+  EXPECT_NE(second, alice_key_);
+  EXPECT_EQ(repo_.authenticate(second).value(), "alice");
+  EXPECT_THROW(repo_.issue_api_key("nobody"), std::invalid_argument);
+}
+
+TEST_F(RepoTest, RevokedKeyStopsWorking) {
+  EXPECT_TRUE(repo_.revoke_api_key(alice_key_));
+  EXPECT_FALSE(repo_.authenticate(alice_key_).has_value());
+  EXPECT_FALSE(repo_.revoke_api_key(alice_key_));  // already revoked
+}
+
+TEST_F(RepoTest, PlaintextKeysAreNotStored) {
+  // No stored document may contain the plaintext API key.
+  for (const auto& name : repo_.store().collection_names()) {
+    for (const auto& d : repo_.store().find_collection(name)->all()) {
+      EXPECT_EQ(d.dump().find(alice_key_), std::string::npos)
+          << "plaintext key leaked into collection " << name;
+    }
+  }
+}
+
+TEST_F(RepoTest, TagNormalization) {
+  EXPECT_EQ(repo_.normalize_machine("cori"), "Cori");
+  EXPECT_EQ(repo_.normalize_machine("CORI"), "Cori");
+  EXPECT_EQ(repo_.normalize_software("ScaLAPACK"), "scalapack");
+  EXPECT_EQ(repo_.normalize_software("CrayMPICH"), "cray-mpich");
+  EXPECT_EQ(repo_.normalize_machine("unknown-cluster"), "unknown-cluster");
+}
+
+TEST_F(RepoTest, UploadNormalizesTags) {
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(4, 1.0, "cori"));
+  const auto records =
+      repo_.query_function_evaluations(base_meta(alice_key_));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0]
+                .at("machine_configuration")
+                .at("machine_name")
+                .as_string(),
+            "Cori");
+  EXPECT_TRUE(records[0].at("software_configuration").contains("scalapack"));
+}
+
+TEST_F(RepoTest, UploadRequiresValidKey) {
+  EXPECT_THROW(repo_.upload("bad-key", "p", make_upload(4, 1.0)),
+               std::invalid_argument);
+}
+
+TEST_F(RepoTest, QueryFiltersByProblemAndRanges) {
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(4, 1.0));
+  repo_.upload(alice_key_, "other_problem", make_upload(5, 2.0));
+  EvalUpload out_of_range = make_upload(4, 1.0);
+  out_of_range.task_parameters = Json::parse(R"({"m":500,"n":500})");
+  repo_.upload(alice_key_, "pdgeqrf", out_of_range);
+
+  const auto records =
+      repo_.query_function_evaluations(base_meta(alice_key_));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("tuning_parameters").at("mb").as_int(), 4);
+  EXPECT_EQ(repo_.num_records("pdgeqrf"), 2u);
+}
+
+TEST_F(RepoTest, MachineFiltersRestrictResults) {
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(4, 1.0, "Cori", "haswell", 8));
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(5, 2.0, "Cori", "knl", 32));
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(6, 3.0, "Summit", "gpu", 8));
+
+  MetaDescription m = base_meta(alice_key_);
+  MachineFilter f;
+  f.machine_name = "cori";  // alias form
+  f.partition = "haswell";
+  m.machine_filters.push_back(f);
+  auto records = repo_.query_function_evaluations(m);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("tuning_parameters").at("mb").as_int(), 4);
+
+  // Node range [16, 64] picks the KNL record.
+  m.machine_filters.clear();
+  MachineFilter g;
+  g.machine_name = "Cori";
+  g.nodes_min = 16;
+  g.nodes_max = 64;
+  m.machine_filters.push_back(g);
+  records = repo_.query_function_evaluations(m);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("tuning_parameters").at("mb").as_int(), 5);
+}
+
+TEST_F(RepoTest, SoftwareVersionFilter) {
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(4, 1.0));  // gcc 8.3.0
+  EvalUpload newer = make_upload(5, 2.0);
+  newer.software_configuration =
+      parse_spack_manifest("scalapack@2.1.0%gcc@10.1.0");
+  repo_.upload(alice_key_, "pdgeqrf", newer);
+
+  MetaDescription m = base_meta(alice_key_);
+  SoftwareFilter f;
+  f.name = "GCC";  // alias capitalization
+  f.version_from = {8, 0, 0};
+  f.version_to = {9, 0, 0};
+  m.software_filters.push_back(f);
+  const auto records = repo_.query_function_evaluations(m);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("tuning_parameters").at("mb").as_int(), 4);
+}
+
+TEST_F(RepoTest, UserFilterTrustsSpecificUploaders) {
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(4, 1.0));
+  repo_.upload(bob_key_, "pdgeqrf", make_upload(5, 2.0));
+  MetaDescription m = base_meta(alice_key_);
+  m.user_filters = {"bob"};
+  const auto records = repo_.query_function_evaluations(m);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("user").as_string(), "bob");
+}
+
+TEST_F(RepoTest, AccessControlPrivateAndShared) {
+  EvalUpload priv = make_upload(4, 1.0);
+  priv.accessibility.level = Accessibility::Level::Private;
+  repo_.upload(alice_key_, "pdgeqrf", priv);
+
+  EvalUpload shared = make_upload(5, 2.0);
+  shared.accessibility.level = Accessibility::Level::Shared;
+  shared.accessibility.shared_with = {"bob"};
+  repo_.upload(alice_key_, "pdgeqrf", shared);
+
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(6, 3.0));  // public
+
+  // Alice (owner) sees all three; Bob sees shared + public.
+  EXPECT_EQ(repo_.query_function_evaluations(base_meta(alice_key_)).size(),
+            3u);
+  const auto bob_view = repo_.query_function_evaluations(base_meta(bob_key_));
+  ASSERT_EQ(bob_view.size(), 2u);
+  // A third user sees only the public record.
+  const std::string carol_key = repo_.register_user("carol", "c@x.y");
+  EXPECT_EQ(repo_.query_function_evaluations(base_meta(carol_key)).size(),
+            1u);
+}
+
+TEST_F(RepoTest, FailedRunsStoredAsNullOutput) {
+  repo_.upload(alice_key_, "pdgeqrf",
+               make_upload(4, std::numeric_limits<double>::quiet_NaN()));
+  const auto records =
+      repo_.query_function_evaluations(base_meta(alice_key_));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].at("output").at("runtime").is_null());
+}
+
+TEST_F(RepoTest, SurrogateAndPredictionUtilities) {
+  // Upload samples of a simple function runtime(mb) = (mb-8)^2 + 1.
+  for (int mb = 1; mb < 16; ++mb)
+    repo_.upload(alice_key_, "pdgeqrf",
+                 make_upload(mb, (mb - 8.0) * (mb - 8.0) + 1.0));
+  const MetaDescription m = base_meta(alice_key_);
+  const auto model = repo_.query_surrogate_model(m, /*seed=*/1);
+  ASSERT_NE(model, nullptr);
+  const double at8 = repo_.query_predict_output(
+      m, {Value(std::int64_t{8})}, /*seed=*/1);
+  const double at1 = repo_.query_predict_output(
+      m, {Value(std::int64_t{1})}, /*seed=*/1);
+  EXPECT_LT(at8, at1);  // surrogate learned the valley at mb=8
+}
+
+TEST_F(RepoTest, SurrogateNeedsEnoughData) {
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(4, 1.0));
+  EXPECT_THROW(repo_.query_surrogate_model(base_meta(alice_key_)),
+               std::runtime_error);
+}
+
+TEST_F(RepoTest, SensitivityAnalysisRunsOnCrowdData) {
+  rng::Rng noise(1);
+  for (int i = 0; i < 40; ++i) {
+    const int mb = 1 + i % 15;
+    repo_.upload(alice_key_, "pdgeqrf",
+                 make_upload(mb, (mb - 8.0) * (mb - 8.0) + 1.0));
+  }
+  sa::SobolOptions opt;
+  opt.base_samples = 128;
+  const sa::SobolResult r =
+      repo_.query_sensitivity_analysis(base_meta(alice_key_), 2, opt);
+  ASSERT_EQ(r.dim(), 1u);
+  EXPECT_EQ(r.names[0], "mb");
+  EXPECT_GT(r.st[0], 0.5);  // the only parameter carries all the variance
+}
+
+TEST_F(RepoTest, SourceHistoriesGroupByTask) {
+  for (int i = 0; i < 5; ++i)
+    repo_.upload(alice_key_, "pdgeqrf", make_upload(1 + i, 1.0 + i));
+  EvalUpload other_task = make_upload(3, 9.0);
+  other_task.task_parameters = Json::parse(R"({"m":8000,"n":8000})");
+  repo_.upload(alice_key_, "pdgeqrf", other_task);
+
+  const auto histories =
+      repo_.query_source_histories(base_meta(alice_key_));
+  ASSERT_EQ(histories.size(), 2u);
+  // Ordered by descending sample count.
+  EXPECT_EQ(histories[0].size(), 5u);
+  EXPECT_EQ(histories[1].size(), 1u);
+  EXPECT_EQ(histories[0].task()[0].as_int(), 10000);
+  EXPECT_EQ(histories[1].task()[0].as_int(), 8000);
+}
+
+TEST_F(RepoTest, SaveLoadRoundTrip) {
+  repo_.upload(alice_key_, "pdgeqrf", make_upload(4, 1.0));
+  const auto dir = std::filesystem::temp_directory_path() / "gptc_repo_test";
+  std::filesystem::remove_all(dir);
+  repo_.save(dir);
+  const SharedRepo loaded = SharedRepo::load(dir);
+  EXPECT_EQ(loaded.num_users(), 2u);
+  EXPECT_EQ(loaded.authenticate(alice_key_).value(), "alice");
+  EXPECT_EQ(loaded.num_records("pdgeqrf"), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(RepoTest, QueryRequiresValidKey) {
+  MetaDescription m = base_meta("not-a-key");
+  EXPECT_THROW(repo_.query_function_evaluations(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gptc::crowd

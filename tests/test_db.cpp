@@ -1,0 +1,161 @@
+#include "db/document_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace gptc::db {
+namespace {
+
+using json::Json;
+
+Json doc(const std::string& text) { return Json::parse(text); }
+
+class CollectionTest : public ::testing::Test {
+ protected:
+  CollectionTest() : c_("samples") {
+    c_.insert(doc(R"({"name":"a","value":1,"nested":{"x":10}})"));
+    c_.insert(doc(R"({"name":"b","value":2,"nested":{"x":20}})"));
+    c_.insert(doc(R"({"name":"c","value":3,"tags":["fast"]})"));
+  }
+  Collection c_;
+};
+
+TEST_F(CollectionTest, InsertAssignsSequentialIds) {
+  EXPECT_EQ(c_.size(), 3u);
+  EXPECT_EQ(c_.all()[0].at("_id").as_int(), 1);
+  EXPECT_EQ(c_.all()[2].at("_id").as_int(), 3);
+}
+
+TEST_F(CollectionTest, InsertRejectsNonObject) {
+  EXPECT_THROW(c_.insert(Json(5)), json::JsonError);
+}
+
+TEST_F(CollectionTest, EqualityMatch) {
+  EXPECT_EQ(c_.find(doc(R"({"name":"b"})")).size(), 1u);
+  EXPECT_EQ(c_.find(doc(R"({"name":"zz"})")).size(), 0u);
+  EXPECT_EQ(c_.find(doc(R"({})")).size(), 3u);  // empty query matches all
+}
+
+TEST_F(CollectionTest, DotPathMatch) {
+  const auto r = c_.find(doc(R"({"nested.x":20})"));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].at("name").as_string(), "b");
+}
+
+TEST_F(CollectionTest, RangeOperators) {
+  EXPECT_EQ(c_.count(doc(R"({"value":{"$gte":2}})")), 2u);
+  EXPECT_EQ(c_.count(doc(R"({"value":{"$gt":2}})")), 1u);
+  EXPECT_EQ(c_.count(doc(R"({"value":{"$lt":2}})")), 1u);
+  EXPECT_EQ(c_.count(doc(R"({"value":{"$lte":2}})")), 2u);
+  EXPECT_EQ(c_.count(doc(R"({"value":{"$gte":1,"$lt":3}})")), 2u);
+  EXPECT_EQ(c_.count(doc(R"({"value":{"$ne":2}})")), 2u);
+}
+
+TEST_F(CollectionTest, InNinExists) {
+  EXPECT_EQ(c_.count(doc(R"({"name":{"$in":["a","c"]}})")), 2u);
+  EXPECT_EQ(c_.count(doc(R"({"name":{"$nin":["a","c"]}})")), 1u);
+  EXPECT_EQ(c_.count(doc(R"({"tags":{"$exists":true}})")), 1u);
+  EXPECT_EQ(c_.count(doc(R"({"tags":{"$exists":false}})")), 2u);
+}
+
+TEST_F(CollectionTest, LogicalOperators) {
+  EXPECT_EQ(
+      c_.count(doc(R"({"$or":[{"name":"a"},{"value":{"$gte":3}}]})")), 2u);
+  EXPECT_EQ(
+      c_.count(doc(R"({"$and":[{"value":{"$gte":2}},{"value":{"$lt":3}}]})")),
+      1u);
+  EXPECT_EQ(c_.count(doc(R"({"$not":{"name":"a"}})")), 2u);
+}
+
+TEST_F(CollectionTest, StringOrderingOperators) {
+  EXPECT_EQ(c_.count(doc(R"({"name":{"$gte":"b"}})")), 2u);
+  // Mixed-type ordering comparisons never match.
+  EXPECT_EQ(c_.count(doc(R"({"name":{"$gte":5}})")), 0u);
+}
+
+TEST_F(CollectionTest, UnknownOperatorThrows) {
+  EXPECT_THROW(c_.count(doc(R"({"value":{"$regex":"x"}})")), json::JsonError);
+}
+
+TEST_F(CollectionTest, FindOneAndMissing) {
+  EXPECT_EQ(c_.find_one(doc(R"({"value":3})")).at("name").as_string(), "c");
+  EXPECT_TRUE(c_.find_one(doc(R"({"value":99})")).is_null());
+}
+
+TEST_F(CollectionTest, Remove) {
+  EXPECT_EQ(c_.remove(doc(R"({"value":{"$lte":2}})")), 2u);
+  EXPECT_EQ(c_.size(), 1u);
+  EXPECT_EQ(c_.all()[0].at("name").as_string(), "c");
+}
+
+TEST_F(CollectionTest, UpdateOverwritesFieldsButNotId) {
+  EXPECT_EQ(c_.update(doc(R"({"name":"a"})"),
+                      doc(R"({"value":42,"_id":999})")),
+            1u);
+  const Json a = c_.find_one(doc(R"({"name":"a"})"));
+  EXPECT_EQ(a.at("value").as_int(), 42);
+  EXPECT_EQ(a.at("_id").as_int(), 1);
+}
+
+TEST_F(CollectionTest, NumericCrossTypeEqualityInQueries) {
+  c_.insert(doc(R"({"name":"d","value":2.0})"));
+  EXPECT_EQ(c_.count(doc(R"({"value":2})")), 2u);  // int 2 and double 2.0
+}
+
+TEST(LookupPath, Behaviour) {
+  const Json d = doc(R"({"a":{"b":{"c":5}},"x":1})");
+  ASSERT_NE(lookup_path(d, "a.b.c"), nullptr);
+  EXPECT_EQ(lookup_path(d, "a.b.c")->as_int(), 5);
+  EXPECT_EQ(lookup_path(d, "a.b.z"), nullptr);
+  EXPECT_EQ(lookup_path(d, "x.y"), nullptr);  // x is not an object
+  EXPECT_EQ(lookup_path(d, "x")->as_int(), 1);
+}
+
+TEST(DocumentStoreTest, CollectionsCreatedOnDemand) {
+  DocumentStore store;
+  EXPECT_EQ(store.find_collection("foo"), nullptr);
+  store.collection("foo").insert(doc(R"({"k":1})"));
+  ASSERT_NE(store.find_collection("foo"), nullptr);
+  EXPECT_EQ(store.find_collection("foo")->size(), 1u);
+  EXPECT_EQ(store.collection_names().size(), 1u);
+}
+
+TEST(DocumentStoreTest, SaveLoadRoundTrip) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "gptc_store_test";
+  std::filesystem::remove_all(dir);
+
+  DocumentStore store;
+  store.collection("func_eval").insert(doc(R"({"runtime":1.5,"mb":4})"));
+  store.collection("func_eval").insert(doc(R"({"runtime":2.5,"mb":8})"));
+  store.collection("users").insert(doc(R"({"username":"alice"})"));
+  store.save(dir);
+
+  const DocumentStore loaded = DocumentStore::load(dir);
+  ASSERT_NE(loaded.find_collection("func_eval"), nullptr);
+  EXPECT_EQ(loaded.find_collection("func_eval")->size(), 2u);
+  EXPECT_EQ(loaded.find_collection("users")->size(), 1u);
+  // Ids continue from where they left off.
+  DocumentStore mutable_loaded = DocumentStore::load(dir);
+  const auto id =
+      mutable_loaded.collection("func_eval").insert(doc(R"({"runtime":9})"));
+  EXPECT_EQ(id, 3);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DocumentStoreTest, LoadMissingDirectoryGivesEmptyStore) {
+  const DocumentStore s = DocumentStore::load("/nonexistent/gptc/path");
+  EXPECT_TRUE(s.collection_names().empty());
+}
+
+TEST(CollectionJson, RoundTripPreservesNextId) {
+  Collection c("t");
+  c.insert(doc(R"({"a":1})"));
+  c.remove(doc(R"({"a":1})"));
+  Collection back = Collection::from_json(c.to_json());
+  EXPECT_EQ(back.insert(doc(R"({"b":2})")), 2);  // id 1 was consumed
+}
+
+}  // namespace
+}  // namespace gptc::db

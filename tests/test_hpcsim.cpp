@@ -1,0 +1,110 @@
+#include "hpcsim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gptc::hpcsim {
+namespace {
+
+TEST(MachineModel, CoriModelsMatchPublishedTopology) {
+  const auto hsw = MachineModel::cori_haswell();
+  EXPECT_EQ(hsw.cores_per_node, 32);  // 2 x 16-core Xeon E5-2698v3
+  EXPECT_DOUBLE_EQ(hsw.mem_per_node, 128e9);
+  const auto knl = MachineModel::cori_knl();
+  EXPECT_EQ(knl.cores_per_node, 68);  // Xeon Phi 7250
+  // KNL: weaker cores, more of them, faster near-memory.
+  EXPECT_LT(knl.flops_per_core, hsw.flops_per_core);
+  EXPECT_GT(knl.mem_bw_per_node, hsw.mem_bw_per_node);
+}
+
+TEST(MachineModel, MachineConfigurationJson) {
+  const auto j = MachineModel::cori_haswell().machine_configuration(8);
+  EXPECT_EQ(j.at("machine_name").as_string(), "Cori");
+  EXPECT_EQ(j.at("partition").as_string(), "haswell");
+  EXPECT_EQ(j.at("nodes").as_int(), 8);
+  EXPECT_EQ(j.at("cores").as_int(), 32);
+}
+
+TEST(Allocation, TotalRanks) {
+  Allocation a{MachineModel::cori_haswell(), 8, 32};
+  EXPECT_EQ(a.total_ranks(), 256);
+}
+
+TEST(Allocation, RankFlopsComputeBoundWhenIntensityHigh) {
+  Allocation a{MachineModel::cori_haswell(), 1, 1};
+  // bytes_per_flop = 0: pure compute bound at the kernel efficiency.
+  EXPECT_DOUBLE_EQ(a.rank_flops(1.0, 0.0),
+                   a.machine.flops_per_core);
+  EXPECT_DOUBLE_EQ(a.rank_flops(0.5, 0.0), 0.5 * a.machine.flops_per_core);
+}
+
+TEST(Allocation, RankFlopsBandwidthBoundUnderContention) {
+  const auto m = MachineModel::cori_haswell();
+  Allocation one{m, 1, 1}, full{m, 1, 32};
+  // Streaming kernel (8 bytes/flop): a single rank gets the whole node
+  // bandwidth, 32 ranks share it.
+  const double solo = one.rank_flops(1.0, 8.0);
+  const double crowded = full.rank_flops(1.0, 8.0);
+  EXPECT_GT(solo, crowded);
+  EXPECT_NEAR(crowded, m.mem_bw_per_node / 32 / 8.0, 1e-3);
+}
+
+TEST(Allocation, RankFlopsClampsEfficiency) {
+  Allocation a{MachineModel::cori_haswell(), 1, 1};
+  EXPECT_GT(a.rank_flops(-1.0, 0.0), 0.0);  // clamped to 0.01, not negative
+  EXPECT_LE(a.rank_flops(5.0, 0.0), a.machine.flops_per_core);
+}
+
+TEST(Allocation, MessageTimeIsAffine) {
+  Allocation a{MachineModel::cori_haswell(), 2, 32};
+  const double t0 = a.message_time(0.0);
+  const double t1 = a.message_time(1e6);
+  EXPECT_DOUBLE_EQ(t0, a.machine.net_latency);
+  EXPECT_GT(t1, t0);
+  EXPECT_NEAR(t1 - t0, 1e6 * a.machine.net_inv_bandwidth, 1e-12);
+}
+
+TEST(Allocation, CollectivesScaleLogarithmically) {
+  Allocation a{MachineModel::cori_haswell(), 4, 32};
+  EXPECT_DOUBLE_EQ(a.broadcast_time(1024, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.allreduce_time(1024, 1), 0.0);
+  const double b2 = a.broadcast_time(1024, 2);
+  const double b128 = a.broadcast_time(1024, 128);
+  EXPECT_NEAR(b128 / b2, 7.0, 1e-9);  // log2(128) = 7 hops
+  EXPECT_GT(a.allreduce_time(1024, 8), a.broadcast_time(1024, 8));
+}
+
+TEST(Allocation, MemPerRankDividesNodeMemory) {
+  Allocation a{MachineModel::cori_haswell(), 4, 32};
+  EXPECT_DOUBLE_EQ(a.mem_per_rank(), 128e9 / 32);
+  Allocation solo{MachineModel::cori_haswell(), 4, 1};
+  EXPECT_DOUBLE_EQ(solo.mem_per_rank(), 128e9);
+}
+
+TEST(Allocation, NoiseIsDeterministicPerConfigTag) {
+  Allocation a{MachineModel::cori_haswell(), 4, 32};
+  EXPECT_DOUBLE_EQ(a.noise(1, 42), a.noise(1, 42));
+  EXPECT_NE(a.noise(1, 42), a.noise(1, 43));
+  EXPECT_NE(a.noise(1, 42), a.noise(2, 42));
+}
+
+TEST(Allocation, NoiseIsCenteredAndPositive) {
+  Allocation a{MachineModel::cori_haswell(), 4, 32};
+  double sum = 0.0;
+  for (std::uint64_t t = 0; t < 2000; ++t) {
+    const double f = a.noise(7, t);
+    ASSERT_GT(f, 0.0);
+    sum += std::log(f);
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.0, 0.01);  // lognormal, median 1
+}
+
+TEST(Allocation, DifferentMachinesDifferentNoiseStreams) {
+  Allocation hsw{MachineModel::cori_haswell(), 4, 32};
+  Allocation knl{MachineModel::cori_knl(), 4, 68};
+  EXPECT_NE(hsw.noise(1, 42), knl.noise(1, 42));
+}
+
+}  // namespace
+}  // namespace gptc::hpcsim

@@ -1,0 +1,194 @@
+#include "opt/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gptc::opt {
+namespace {
+
+double sphere(const la::Vector& x) {
+  double s = 0.0;
+  for (double v : x) s += (v - 0.3) * (v - 0.3);
+  return s;
+}
+
+double rosenbrock(const la::Vector& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    s += 100.0 * a * a + b * b;
+  }
+  return s;
+}
+
+TEST(NelderMead, MinimizesSphere) {
+  const Result r = nelder_mead(sphere, {0.9, 0.9, 0.9});
+  EXPECT_LT(r.value, 1e-6);
+  for (double v : r.x) EXPECT_NEAR(v, 0.3, 1e-3);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2d) {
+  NelderMeadOptions opt;
+  opt.max_evaluations = 2000;
+  const Result r = nelder_mead(rosenbrock, {-0.5, 0.5}, opt);
+  EXPECT_LT(r.value, 1e-4);
+  EXPECT_NEAR(r.x[0], 1.0, 0.05);
+  EXPECT_NEAR(r.x[1], 1.0, 0.05);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  NelderMeadOptions opt;
+  opt.max_evaluations = 25;
+  const Result r = nelder_mead(rosenbrock, {0.0, 0.0}, opt);
+  // The budget caps main-loop evaluations; a final shrink step may add at
+  // most dim more.
+  EXPECT_LE(r.evaluations, 27);
+}
+
+TEST(NelderMead, ClampsToUnitCube) {
+  NelderMeadOptions opt;
+  opt.clamp_unit_cube = true;
+  // Minimum outside the cube at (1.5, 1.5): must converge to the corner.
+  const auto f = [](const la::Vector& x) {
+    return (x[0] - 1.5) * (x[0] - 1.5) + (x[1] - 1.5) * (x[1] - 1.5);
+  };
+  const Result r = nelder_mead(f, {0.5, 0.5}, opt);
+  EXPECT_NEAR(r.x[0], 1.0, 0.02);
+  EXPECT_NEAR(r.x[1], 1.0, 0.02);
+}
+
+TEST(NelderMead, SurvivesNonFiniteObjective) {
+  const auto f = [](const la::Vector& x) {
+    if (x[0] < 0.2) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  const Result r = nelder_mead(f, {0.8});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-3);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW(nelder_mead(sphere, {}), std::invalid_argument);
+}
+
+TEST(MultistartNelderMead, PicksBestBasin) {
+  // Two basins; global at 0.8 (depth -2), local at 0.2 (depth -1).
+  const auto f = [](const la::Vector& x) {
+    const double a = -std::exp(-50.0 * (x[0] - 0.2) * (x[0] - 0.2));
+    const double b = -2.0 * std::exp(-50.0 * (x[0] - 0.8) * (x[0] - 0.8));
+    return a + b;
+  };
+  const Result r = multistart_nelder_mead(f, {{0.15}, {0.85}});
+  EXPECT_NEAR(r.x[0], 0.8, 0.01);
+  EXPECT_THROW(multistart_nelder_mead(f, {}), std::invalid_argument);
+}
+
+TEST(DifferentialEvolution, MinimizesMultimodalFunction) {
+  // Rastrigin-flavoured function over [0,1]^2, minimum at (0.7, 0.7).
+  const auto f = [](const la::Vector& x) {
+    double s = 0.0;
+    for (double v : x) {
+      const double d = v - 0.7;
+      s += d * d - 0.05 * std::cos(20.0 * d);
+    }
+    return s;
+  };
+  rng::Rng rng(3);
+  DifferentialEvolutionOptions opt;
+  opt.population = 30;
+  opt.generations = 60;
+  const Result r = differential_evolution(f, 2, rng, opt);
+  EXPECT_NEAR(r.x[0], 0.7, 0.02);
+  EXPECT_NEAR(r.x[1], 0.7, 0.02);
+}
+
+TEST(DifferentialEvolution, SeedsJoinPopulation) {
+  // With the optimum passed as a seed, the result can't be worse.
+  rng::Rng rng(4);
+  DifferentialEvolutionOptions opt;
+  opt.generations = 0;  // no evolution: only the initial population counts
+  opt.seeds = {{0.3, 0.3, 0.3}};
+  const Result r = differential_evolution(sphere, 3, rng, opt);
+  EXPECT_LE(r.value, 1e-12);
+}
+
+TEST(DifferentialEvolution, StaysInUnitCube) {
+  rng::Rng rng(5);
+  const auto f = [](const la::Vector& x) {
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    return -x[0];
+  };
+  const Result r = differential_evolution(f, 2, rng);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+}
+
+TEST(DifferentialEvolution, InvalidInputsThrow) {
+  rng::Rng rng(6);
+  EXPECT_THROW(differential_evolution(sphere, 0, rng), std::invalid_argument);
+  DifferentialEvolutionOptions opt;
+  opt.seeds = {{0.1, 0.2}};  // wrong dim
+  EXPECT_THROW(differential_evolution(sphere, 3, rng, opt),
+               std::invalid_argument);
+}
+
+TEST(Sampling, RandomDesignShapeAndRange) {
+  rng::Rng rng(7);
+  const auto pts = random_design(50, 4, rng);
+  EXPECT_EQ(pts.size(), 50u);
+  for (const auto& p : pts) {
+    EXPECT_EQ(p.size(), 4u);
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Sampling, LatinHypercubeStratifies) {
+  rng::Rng rng(8);
+  const std::size_t n = 20;
+  const auto pts = latin_hypercube(n, 2, rng);
+  // Exactly one point per bin in each dimension.
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::vector<int> bins(n, 0);
+    for (const auto& p : pts)
+      ++bins[std::min(n - 1, static_cast<std::size_t>(p[d] * n))];
+    for (int b : bins) EXPECT_EQ(b, 1);
+  }
+}
+
+TEST(Sampling, ScrambledHaltonIsLowDiscrepancy) {
+  rng::Rng rng(9);
+  const std::size_t n = 512;
+  const auto pts = scrambled_halton(n, 2, rng);
+  // Check 4x4 stratification: each cell should hold roughly n/16 points.
+  int cells[4][4] = {};
+  for (const auto& p : pts)
+    ++cells[std::min(3, static_cast<int>(p[0] * 4))]
+           [std::min(3, static_cast<int>(p[1] * 4))];
+  for (auto& row : cells)
+    for (int c : row) EXPECT_NEAR(c, 32, 12);
+}
+
+TEST(Sampling, ScrambledHaltonDeterministicPerSeed) {
+  rng::Rng r1(10), r2(10), r3(11);
+  const auto a = scrambled_halton(8, 3, r1);
+  const auto b = scrambled_halton(8, 3, r2);
+  const auto c = scrambled_halton(8, 3, r3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Sampling, ScrambledHaltonHighDimSupported) {
+  rng::Rng rng(12);
+  const auto pts = scrambled_halton(16, 24, rng);  // Hypre Saltelli needs 2*12
+  EXPECT_EQ(pts.front().size(), 24u);
+  EXPECT_THROW(scrambled_halton(4, 65, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gptc::opt

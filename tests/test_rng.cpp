@@ -1,0 +1,171 @@
+#include "rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gptc::rng {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitByTagIsDeterministic) {
+  Rng root(7);
+  Rng a = root.split("surrogate");
+  Rng b = root.split("surrogate");
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentUse) {
+  Rng root(7);
+  Rng a = root.split("x");
+  root();  // consuming the parent must not change future splits
+  Rng b = Rng(7).split("x");
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentTagsGiveDifferentStreams) {
+  Rng root(7);
+  EXPECT_NE(root.split("a")(), root.split("b")());
+  EXPECT_NE(root.split(std::uint64_t{1})(), root.split(std::uint64_t{2})());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng r(6);
+  EXPECT_EQ(r.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng r(6);
+  EXPECT_THROW(r.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(8);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng r(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognoiseHasMedianAroundOne) {
+  Rng r(10);
+  const int n = 10001;
+  std::vector<double> v(n);
+  for (auto& x : v) x = r.lognoise(0.05);
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[n / 2], 1.0, 0.01);
+  for (double x : v) ASSERT_GT(x, 0.0);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng r(11);
+  std::vector<double> w = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[r.categorical(w)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalDegenerateWeight) {
+  Rng r(12);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.categorical(w), 1u);
+}
+
+TEST(Rng, CategoricalRejectsBadInput) {
+  Rng r(13);
+  EXPECT_THROW(r.categorical({}), std::invalid_argument);
+  EXPECT_THROW(r.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(r.categorical({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng r(14);
+  const auto p = r.permutation(50);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng r(15);
+  EXPECT_TRUE(r.permutation(0).empty());
+  const auto p = r.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Rng, HashTagDistinguishesStrings) {
+  EXPECT_NE(hash_tag("a"), hash_tag("b"));
+  EXPECT_NE(hash_tag(""), hash_tag("a"));
+  EXPECT_EQ(hash_tag("abc"), hash_tag("abc"));
+}
+
+}  // namespace
+}  // namespace gptc::rng

@@ -1,0 +1,171 @@
+#include "space/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gptc::space {
+namespace {
+
+TEST(Parameter, RealEncodeDecodeRoundTrip) {
+  const auto p = Parameter::real("x", -5.0, 10.0);
+  for (double v : {-5.0, -1.2, 0.0, 3.7, 9.99}) {
+    const double u = p.encode(Value(v));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    EXPECT_NEAR(p.decode(u).as_double(), v, 1e-9);
+  }
+}
+
+TEST(Parameter, RealClampsOutOfRange) {
+  const auto p = Parameter::real("x", 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.encode(Value(-3.0)), 0.0);
+  EXPECT_LT(p.decode(1.0).as_double(), 1.0);  // upper bound exclusive
+  EXPECT_GE(p.decode(0.0).as_double(), 0.0);
+}
+
+TEST(Parameter, IntegerRoundTripAllValues) {
+  const auto p = Parameter::integer("mb", 1, 16);  // [1,16) like Table II
+  EXPECT_EQ(p.cardinality(), 15u);
+  for (std::int64_t v = 1; v < 16; ++v) {
+    const double u = p.encode(Value(v));
+    EXPECT_EQ(p.decode(u).as_int(), v);
+  }
+}
+
+TEST(Parameter, IntegerDecodeCoversAllBins) {
+  const auto p = Parameter::integer("k", 0, 4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i <= 100; ++i) seen.insert(p.decode(i / 100.0).as_int());
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(p.decode(0.0).as_int(), 0);
+  EXPECT_EQ(p.decode(1.0).as_int(), 3);
+}
+
+TEST(Parameter, CategoricalRoundTrip) {
+  const auto p = Parameter::categorical("colperm", {"NATURAL", "MMD", "METIS"});
+  EXPECT_EQ(p.cardinality(), 3u);
+  for (const auto& c : {"NATURAL", "MMD", "METIS"}) {
+    EXPECT_EQ(p.decode(p.encode(Value(c))).as_string(), c);
+  }
+  EXPECT_THROW(p.encode(Value("BOGUS")), std::invalid_argument);
+}
+
+TEST(Parameter, Contains) {
+  const auto r = Parameter::real("x", 0.0, 1.0);
+  EXPECT_TRUE(r.contains(Value(0.5)));
+  EXPECT_FALSE(r.contains(Value(1.0)));  // exclusive upper
+  EXPECT_FALSE(r.contains(Value("x")));
+  const auto i = Parameter::integer("k", 1, 4);
+  EXPECT_TRUE(i.contains(Value(std::int64_t{3})));
+  EXPECT_FALSE(i.contains(Value(std::int64_t{4})));
+  EXPECT_FALSE(i.contains(Value(2.5)));
+  const auto c = Parameter::categorical("c", {"a", "b"});
+  EXPECT_TRUE(c.contains(Value("a")));
+  EXPECT_FALSE(c.contains(Value("z")));
+  EXPECT_FALSE(c.contains(Value(1)));
+}
+
+TEST(Parameter, InvalidConstruction) {
+  EXPECT_THROW(Parameter::real("x", 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Parameter::integer("x", 5, 5), std::invalid_argument);
+  EXPECT_THROW(Parameter::categorical("x", {}), std::invalid_argument);
+}
+
+TEST(Parameter, JsonRoundTrip) {
+  for (const auto& p :
+       {Parameter::real("x", -1.0, 2.0), Parameter::integer("k", 0, 9),
+        Parameter::categorical("c", {"u", "v"})}) {
+    const Parameter q = Parameter::from_json(p.to_json());
+    EXPECT_EQ(q.name(), p.name());
+    EXPECT_EQ(q.kind(), p.kind());
+    EXPECT_EQ(q.lower(), p.lower());
+    EXPECT_EQ(q.upper(), p.upper());
+    EXPECT_EQ(q.categories(), p.categories());
+  }
+}
+
+TEST(Parameter, SampleStaysInRange) {
+  rng::Rng rng(1);
+  const auto p = Parameter::integer("k", 3, 7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const Value v = p.sample(rng);
+    ASSERT_TRUE(p.contains(v));
+    seen.insert(v.as_int());
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 3..6 seen
+}
+
+class SpaceTest : public ::testing::Test {
+ protected:
+  Space sp_{std::vector<Parameter>{
+      Parameter::integer("mb", 1, 16),
+      Parameter::real("thresh", 0.0, 1.0),
+      Parameter::categorical("perm", {"NATURAL", "MMD", "METIS"}),
+  }};
+};
+
+TEST_F(SpaceTest, EncodeDecodeRoundTrip) {
+  const Config c = {Value(std::int64_t{7}), Value(0.33), Value("MMD")};
+  const la::Vector u = sp_.encode(c);
+  ASSERT_EQ(u.size(), 3u);
+  const Config back = sp_.decode(u);
+  EXPECT_EQ(back[0].as_int(), 7);
+  EXPECT_NEAR(back[1].as_double(), 0.33, 1e-9);
+  EXPECT_EQ(back[2].as_string(), "MMD");
+}
+
+TEST_F(SpaceTest, ContainsAndValidation) {
+  EXPECT_TRUE(sp_.contains({Value(std::int64_t{1}), Value(0.0), Value("METIS")}));
+  EXPECT_FALSE(sp_.contains({Value(std::int64_t{16}), Value(0.0), Value("METIS")}));
+  EXPECT_FALSE(sp_.contains({Value(std::int64_t{1}), Value(0.0)}));  // short
+}
+
+TEST_F(SpaceTest, IndexOf) {
+  EXPECT_EQ(sp_.index_of("thresh").value(), 1u);
+  EXPECT_FALSE(sp_.index_of("nope").has_value());
+}
+
+TEST_F(SpaceTest, ConfigJsonRoundTrip) {
+  const Config c = {Value(std::int64_t{3}), Value(0.5), Value("NATURAL")};
+  const json::Json obj = sp_.config_to_json(c);
+  EXPECT_EQ(obj.at("mb").as_int(), 3);
+  const Config back = sp_.config_from_json(obj);
+  EXPECT_TRUE(back[2] == c[2]);
+}
+
+TEST_F(SpaceTest, SpaceJsonRoundTrip) {
+  const Space back = Space::from_json(sp_.to_json());
+  EXPECT_EQ(back.dim(), 3u);
+  EXPECT_EQ(back[2].categories().size(), 3u);
+}
+
+TEST_F(SpaceTest, SampleIsValid) {
+  rng::Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sp_.contains(sp_.sample(rng)));
+}
+
+TEST_F(SpaceTest, DuplicateNamesRejected) {
+  EXPECT_THROW(Space({Parameter::real("x", 0, 1), Parameter::real("x", 0, 2)}),
+               std::invalid_argument);
+}
+
+TEST_F(SpaceTest, SizeMismatchThrows) {
+  EXPECT_THROW(sp_.encode({Value(1)}), std::invalid_argument);
+  EXPECT_THROW(sp_.decode({0.5}), std::invalid_argument);
+}
+
+TEST(TuningProblemTest, ProblemSpaceJson) {
+  TuningProblem p;
+  p.name = "demo";
+  p.task_space = Space({Parameter::real("t", 0.0, 10.0)});
+  p.param_space = Space({Parameter::real("x", 0.0, 1.0)});
+  p.output_name = "y";
+  const json::Json j = p.problem_space_json();
+  EXPECT_EQ(j.at("input_space").at(std::size_t{0}).at("name").as_string(), "t");
+  EXPECT_EQ(j.at("output_space").at(std::size_t{0}).at("name").as_string(), "y");
+}
+
+}  // namespace
+}  // namespace gptc::space

@@ -1,0 +1,237 @@
+// Tests of the sparse substrate: patterns, orderings, symbolic
+// factorization and supernode construction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "sparse/ordering.hpp"
+#include "sparse/pattern.hpp"
+#include "sparse/symbolic.hpp"
+
+namespace gptc::sparse {
+namespace {
+
+TEST(Pattern, FromEdgesSymmetricDeduplicated) {
+  const auto p = SparsityPattern::from_edges(
+      4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 3}});
+  EXPECT_EQ(p.size(), 4u);
+  // {0,1},{1,2},{2,3} x2 directions; self-loop dropped; duplicate merged.
+  EXPECT_EQ(p.num_nonzeros(), 6u);
+  EXPECT_EQ(p.neighbors(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(p.neighbors(3), (std::vector<int>{2}));
+}
+
+TEST(Pattern, FromEdgesRejectsOutOfRange) {
+  EXPECT_THROW(SparsityPattern::from_edges(2, {{0, 5}}),
+               std::invalid_argument);
+  EXPECT_THROW(SparsityPattern::from_edges(2, {{-1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Pattern, Grid2dStructure) {
+  const auto p = grid_2d(3, 3);
+  EXPECT_EQ(p.size(), 9u);
+  // Corner has 2 neighbors, edge 3, center 4.
+  EXPECT_EQ(p.neighbors(0).size(), 2u);
+  EXPECT_EQ(p.neighbors(1).size(), 3u);
+  EXPECT_EQ(p.neighbors(4).size(), 4u);
+  EXPECT_EQ(p.num_nonzeros(), 24u);  // 12 edges, both directions
+}
+
+TEST(Pattern, Grid3dStructure) {
+  const auto p = grid_3d(3, 3, 3);
+  EXPECT_EQ(p.size(), 27u);
+  EXPECT_EQ(p.neighbors(13).size(), 6u);  // center of the cube
+}
+
+TEST(Pattern, ParsecLikeIsReproducibleAndReasonable) {
+  const auto a = parsec_like(500, 15, 1.0, 7);
+  const auto b = parsec_like(500, 15, 1.0, 7);
+  const auto c = parsec_like(500, 15, 1.0, 8);
+  EXPECT_EQ(a.num_nonzeros(), b.num_nonzeros());
+  EXPECT_NE(a.num_nonzeros(), c.num_nonzeros());
+  EXPECT_GT(a.average_degree(), 5.0);
+  EXPECT_LT(a.average_degree(), 40.0);
+}
+
+TEST(Pattern, EvaluationMatricesHaveExpectedScale) {
+  const auto si = si5h12_like();
+  const auto h2o = h2o_like();
+  EXPECT_EQ(si.size(), 1500u);
+  EXPECT_EQ(h2o.size(), 2000u);
+  EXPECT_GT(si.average_degree(), 8.0);
+  EXPECT_GT(h2o.average_degree(), 8.0);
+}
+
+class OrderingTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Permutation order(const SparsityPattern& p) {
+    return colperm_ordering(p, GetParam());
+  }
+};
+
+TEST_P(OrderingTest, ProducesValidPermutation) {
+  for (const auto& p :
+       {grid_2d(7, 9), parsec_like(200, 10, 1.0, 1)}) {
+    EXPECT_TRUE(is_permutation(order(p), p.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, OrderingTest,
+                         ::testing::Values("NATURAL", "RCM_AT_PLUS_A",
+                                           "MMD_AT_PLUS_A",
+                                           "METIS_AT_PLUS_A"));
+
+TEST(Ordering, UnknownNameThrows) {
+  EXPECT_THROW(colperm_ordering(grid_2d(2, 2), "BOGUS"),
+               std::invalid_argument);
+}
+
+TEST(Ordering, RcmReducesGridFillVsNatural) {
+  const auto p = grid_2d(20, 20);
+  const auto fill_nat = symbolic_factorize(p, natural_ordering(p)).fill();
+  const auto fill_rcm = symbolic_factorize(p, rcm_ordering(p)).fill();
+  EXPECT_LT(fill_rcm, fill_nat);
+}
+
+TEST(Ordering, MinimumDegreeBeatsBothOnGrids) {
+  const auto p = grid_2d(20, 20);
+  const auto fill_nat = symbolic_factorize(p, natural_ordering(p)).fill();
+  const auto fill_md =
+      symbolic_factorize(p, minimum_degree_ordering(p)).fill();
+  EXPECT_LT(fill_md, fill_nat / 2);
+}
+
+TEST(Ordering, HandlesDisconnectedGraphs) {
+  // Two disjoint paths.
+  const auto p = SparsityPattern::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  EXPECT_TRUE(is_permutation(rcm_ordering(p), 6));
+  EXPECT_TRUE(is_permutation(minimum_degree_ordering(p), 6));
+}
+
+TEST(Symbolic, TridiagonalHasNoFill) {
+  // Chain graph = tridiagonal matrix: factor is bidiagonal, no fill.
+  const auto p = SparsityPattern::from_edges(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto sym = symbolic_factorize(p, natural_ordering(p));
+  ASSERT_EQ(sym.n(), 5u);
+  for (std::size_t j = 0; j + 1 < 5; ++j) {
+    EXPECT_EQ(sym.col_count[j], 2u);  // diagonal + one below
+    EXPECT_EQ(sym.parent[j], static_cast<int>(j) + 1);
+  }
+  EXPECT_EQ(sym.col_count[4], 1u);
+  EXPECT_EQ(sym.parent[4], -1);
+  EXPECT_EQ(sym.fill(), 9u);
+}
+
+TEST(Symbolic, ArrowheadMatrixFillDependsOnOrdering) {
+  // Star graph: hub first = dense factor; hub last = no fill. This is the
+  // classic example of why ordering matters.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i < 8; ++i) edges.emplace_back(0, i);
+  const auto p = SparsityPattern::from_edges(8, edges);
+
+  // Hub eliminated first (natural): all 7 neighbors become a clique.
+  const auto bad = symbolic_factorize(p, natural_ordering(p));
+  // Hub last: leaves eliminate with a single below-diagonal entry.
+  Permutation hub_last = {1, 2, 3, 4, 5, 6, 7, 0};
+  const auto good = symbolic_factorize(p, hub_last);
+  EXPECT_GT(bad.fill(), good.fill());
+  EXPECT_EQ(good.fill(), 15u);  // 7 columns with 2 nnz + final with 1
+  // Minimum degree must find the good elimination on its own.
+  const auto md = symbolic_factorize(p, minimum_degree_ordering(p));
+  EXPECT_EQ(md.fill(), 15u);
+}
+
+TEST(Symbolic, FillCountIsPermutationOfDenseCase) {
+  // Complete graph: any ordering gives a fully dense factor.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 6; ++i)
+    for (int j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  const auto p = SparsityPattern::from_edges(6, edges);
+  const auto sym = symbolic_factorize(p, natural_ordering(p));
+  EXPECT_EQ(sym.fill(), 21u);  // 6+5+4+3+2+1
+  EXPECT_DOUBLE_EQ(sym.factor_flops(), 36 + 25 + 16 + 9 + 4 + 1);
+}
+
+TEST(Symbolic, InvalidPermutationThrows) {
+  const auto p = grid_2d(3, 3);
+  EXPECT_THROW(symbolic_factorize(p, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(symbolic_factorize(p, {0, 0, 1, 2, 3, 4, 5, 6, 7}),
+               std::invalid_argument);
+}
+
+TEST(Symbolic, ParentsAreTopological) {
+  const auto p = parsec_like(300, 10, 1.0, 3);
+  const auto sym = symbolic_factorize(p, rcm_ordering(p));
+  for (std::size_t j = 0; j < sym.n(); ++j) {
+    if (sym.parent[j] >= 0) {
+      EXPECT_GT(sym.parent[j], static_cast<int>(j));
+    }
+  }
+}
+
+TEST(Supernodes, PartitionCoversAllColumnsOnce) {
+  const auto p = parsec_like(300, 10, 1.0, 4);
+  const auto sym = symbolic_factorize(p, minimum_degree_ordering(p));
+  const auto part = build_supernodes(sym, 16, 8);
+  int covered = 0;
+  int prev_end = 0;
+  for (const auto& s : part.supernodes) {
+    EXPECT_EQ(s.begin, prev_end);
+    EXPECT_GT(s.end, s.begin);
+    covered += s.width();
+    prev_end = s.end;
+  }
+  EXPECT_EQ(covered, 300);
+}
+
+TEST(Supernodes, MaxWidthRespected) {
+  const auto p = parsec_like(300, 10, 1.0, 4);
+  const auto sym = symbolic_factorize(p, natural_ordering(p));
+  for (int cap : {1, 4, 64}) {
+    const auto part = build_supernodes(sym, cap, 10);
+    for (const auto& s : part.supernodes) EXPECT_LE(s.width(), cap);
+  }
+}
+
+TEST(Supernodes, WidthOneCapGivesOneSupernodePerColumn) {
+  const auto p = grid_2d(6, 6);
+  const auto sym = symbolic_factorize(p, natural_ordering(p));
+  const auto part = build_supernodes(sym, 1, 1);
+  EXPECT_EQ(part.count(), 36u);
+  EXPECT_EQ(part.relax_fill, 0u);  // single columns have no padding
+}
+
+TEST(Supernodes, RelaxationMergesMoreAndAddsFill) {
+  const auto p = parsec_like(400, 12, 1.0, 5);
+  const auto sym = symbolic_factorize(p, minimum_degree_ordering(p));
+  const auto tight = build_supernodes(sym, 32, 1);
+  const auto relaxed = build_supernodes(sym, 32, 12);
+  EXPECT_LT(relaxed.count(), tight.count());
+  EXPECT_GE(relaxed.relax_fill, tight.relax_fill);
+  EXPECT_GT(relaxed.average_width(), tight.average_width());
+}
+
+TEST(Supernodes, DenseFactorIsOneSupernode) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 6; ++i)
+    for (int j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  const auto p = SparsityPattern::from_edges(6, edges);
+  const auto sym = symbolic_factorize(p, natural_ordering(p));
+  const auto part = build_supernodes(sym, 10, 1);
+  EXPECT_EQ(part.count(), 1u);
+  EXPECT_EQ(part.supernodes[0].rows, 6u);
+  EXPECT_EQ(part.relax_fill, 0u);  // dense: union == each column's struct
+}
+
+TEST(Supernodes, InvalidKnobsThrow) {
+  const auto p = grid_2d(3, 3);
+  const auto sym = symbolic_factorize(p, natural_ordering(p));
+  EXPECT_THROW(build_supernodes(sym, 0, 1), std::invalid_argument);
+  EXPECT_THROW(build_supernodes(sym, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gptc::sparse

@@ -1,0 +1,146 @@
+// crowdctl — command-line client for a file-backed shared repository.
+//
+// The paper's shared database ships web tools for browsing collected data;
+// this is the equivalent for the file-backed repository: manage users,
+// upload evaluation records, run SQL-like queries, and launch the
+// analytics utilities, all against a repository directory.
+//
+// Usage:
+//   crowdctl <repo-dir> register <username> <email>
+//   crowdctl <repo-dir> upload <api-key> <problem> <records.json>
+//   crowdctl <repo-dir> query <api-key> <problem> [<where-clause>]
+//   crowdctl <repo-dir> stats <problem>
+//   crowdctl <repo-dir> variability <api-key> <problem>
+//   crowdctl <repo-dir> collections
+//
+// The records.json file holds an array of objects:
+//   [{"task_parameters": {...}, "tuning_parameters": {...},
+//     "output": 1.23, "machine_configuration": {...},
+//     "software_configuration": {...}}, ...]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "crowd/query_language.hpp"
+#include "crowd/repo.hpp"
+
+using namespace gptc;
+using json::Json;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: crowdctl <repo-dir> <command> [args]\n"
+      "  register <username> <email>          create a user, print API key\n"
+      "  upload <api-key> <problem> <file>    upload a JSON array of records\n"
+      "  query <api-key> <problem> [where]    SQL-like query, print records\n"
+      "  stats <problem>                      record counts\n"
+      "  variability <api-key> <problem>      noise/outlier report\n"
+      "  collections                          list stored collections\n";
+  return 2;
+}
+
+Json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+int run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string dir = argv[1];
+  const std::string command = argv[2];
+
+  crowd::SharedRepo repo = crowd::SharedRepo::load(dir);
+
+  if (command == "register") {
+    if (argc != 5) return usage();
+    const std::string key = repo.register_user(argv[3], argv[4]);
+    repo.save(dir);
+    std::cout << "user '" << argv[3]
+              << "' registered; API key (shown once): " << key << "\n";
+    return 0;
+  }
+  if (command == "upload") {
+    if (argc != 6) return usage();
+    const Json records = load_json_file(argv[5]);
+    std::size_t count = 0;
+    for (const auto& r : records.as_array()) {
+      crowd::EvalUpload e;
+      e.task_parameters = r.get_or("task_parameters", Json::object());
+      e.tuning_parameters = r.get_or("tuning_parameters", Json::object());
+      const Json out = r.get_or("output", Json(nullptr));
+      e.output = out.is_number()
+                     ? out.as_double()
+                     : std::numeric_limits<double>::quiet_NaN();
+      e.machine_configuration =
+          r.get_or("machine_configuration", Json::object());
+      e.software_configuration =
+          r.get_or("software_configuration", Json::object());
+      e.accessibility = crowd::Accessibility::from_json(
+          r.get_or("accessibility", Json("public")));
+      repo.upload(argv[3], argv[4], e);
+      ++count;
+    }
+    repo.save(dir);
+    std::cout << "uploaded " << count << " record(s) to problem '" << argv[4]
+              << "'\n";
+    return 0;
+  }
+  if (command == "query") {
+    if (argc != 5 && argc != 6) return usage();
+    const std::string where = argc == 6 ? argv[5] : "";
+    const auto records = repo.query_where(argv[3], argv[4], where);
+    for (const auto& r : records) std::cout << r.dump() << "\n";
+    std::cerr << records.size() << " record(s)\n";
+    return 0;
+  }
+  if (command == "stats") {
+    if (argc != 4) return usage();
+    std::cout << "problem '" << argv[3]
+              << "': " << repo.num_records(argv[3]) << " record(s), "
+              << repo.num_users() << " registered user(s)\n";
+    return 0;
+  }
+  if (command == "variability") {
+    if (argc != 5) return usage();
+    crowd::MetaDescription meta;
+    meta.api_key = argv[3];
+    meta.tuning_problem_name = argv[4];
+    const crowd::VariabilityReport report =
+        repo.query_variability_report(meta);
+    std::cout << report.summary() << "\n";
+    for (const auto& g : report.groups) {
+      if (g.outliers.empty() &&
+          !g.noisy(report.options.noisy_relative_mad))
+        continue;
+      std::cout << "  group median=" << g.median
+                << " relative_mad=" << g.relative_mad << " repeats="
+                << g.outputs.size() << " outliers=" << g.outliers.size()
+                << "\n";
+    }
+    return 0;
+  }
+  if (command == "collections") {
+    for (const auto& name : repo.store().collection_names()) {
+      const auto* c = repo.store().find_collection(name);
+      std::cout << name << ": " << (c ? c->size() : 0) << " document(s)\n";
+    }
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "crowdctl: " << e.what() << "\n";
+    return 1;
+  }
+}
