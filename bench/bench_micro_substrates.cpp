@@ -102,6 +102,31 @@ void BM_LcmFit(benchmark::State& state) {
 }
 BENCHMARK(BM_LcmFit)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
 
+// Threads-vs-speedup: GP fit with several restarts, at 0 (serial path),
+// 1, 2, 4 and 8 pool workers. Results are bitwise identical across the
+// sweep (see tests/test_determinism.cpp); only wall time should change.
+void BM_GpFitThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(4);
+  const auto pts = opt::latin_hypercube(80, 4, rng);
+  la::Vector y;
+  for (const auto& p : pts) y.push_back(std::sin(5.0 * p[0]) + p[1]);
+  const la::Matrix x = la::Matrix::from_rows({pts.begin(), pts.end()});
+  gp::GpOptions opt;
+  opt.fit_restarts = 8;
+  if (threads > 0) opt.pool = std::make_shared<parallel::ThreadPool>(threads);
+  for (auto _ : state) {
+    gp::GaussianProcess model(4, opt);
+    rng::Rng fit_rng(5);
+    model.fit(x, y, fit_rng);
+    benchmark::DoNotOptimize(model.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpFitThreads)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_AcquisitionSearch(benchmark::State& state) {
   rng::Rng rng(10);
   const auto pts = opt::latin_hypercube(60, 4, rng);
@@ -117,6 +142,29 @@ void BM_AcquisitionSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AcquisitionSearch)->Unit(benchmark::kMillisecond);
+
+// Threads-vs-speedup for the acquisition DE search: the population
+// evaluations (GP predictions) batch across the pool.
+void BM_DeSearchThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(10);
+  const auto pts = opt::latin_hypercube(60, 4, rng);
+  la::Vector y;
+  for (const auto& p : pts) y.push_back(std::cos(4.0 * p[0]) + p[2]);
+  gp::GaussianProcess model(4);
+  rng::Rng fit_rng(11);
+  model.fit(la::Matrix::from_rows({pts.begin(), pts.end()}), y, fit_rng);
+  core::AcquisitionOptions opt;
+  if (threads > 0) opt.pool = std::make_shared<parallel::ThreadPool>(threads);
+  for (auto _ : state) {
+    rng::Rng search_rng(12);
+    benchmark::DoNotOptimize(core::maximize_ei(model, 0.0, search_rng, {}, opt));
+  }
+}
+BENCHMARK(BM_DeSearchThreads)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_SobolAnalysis(benchmark::State& state) {
   const sa::CubeFn f = [](const la::Vector& u) {

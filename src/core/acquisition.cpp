@@ -35,6 +35,7 @@ la::Vector search(const opt::ObjectiveFn& objective, std::size_t dim,
   de.population = options.de_population;
   de.generations = options.de_generations;
   de.seeds = seeds;
+  de.pool = options.pool;
   rng::Rng sub = rng.split("acq-de");
   for (int i = 0; i < options.extra_random_seeds; ++i) {
     la::Vector x(dim);

@@ -7,8 +7,11 @@
 // a valid configuration by Space::decode.
 #pragma once
 
+#include <memory>
+
 #include "gp/surrogate.hpp"
 #include "la/matrix.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 
 namespace gptc::core {
@@ -31,6 +34,10 @@ struct AcquisitionOptions {
   int de_population = 24;
   int de_generations = 30;
   int extra_random_seeds = 8;
+  /// DE population evaluations (surrogate predictions) run concurrently on
+  /// this pool (null = serial); the proposed point is bitwise identical for
+  /// any pool size.
+  std::shared_ptr<parallel::ThreadPool> pool;
 };
 
 /// Maximizes EI(surrogate, best) over [0,1]^dim. `seeds` (e.g. the incumbent

@@ -6,6 +6,7 @@
 
 #include "core/combined.hpp"
 #include "opt/optimize.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace gptc::core {
 
@@ -72,17 +73,25 @@ TrainingData subsample_training_data(const TrainingData& data,
 std::vector<std::shared_ptr<gp::GaussianProcess>> fit_source_gps(
     const TlaContext& ctx, const gp::GpOptions& options, rng::Rng& rng,
     std::size_t max_samples) {
+  // Every source draws from a stream keyed by its own index, so the fits
+  // are independent of execution order and run concurrently across the
+  // pool (one surrogate fit per source — the per-algorithm surrogates of
+  // the WeightedSum / Stacking / Multitask(PS) ensemble members).
+  auto fitted = parallel::parallel_map(
+      options.pool, ctx.sources->size(),
+      [&](std::size_t s) -> std::shared_ptr<gp::GaussianProcess> {
+        TrainingData data = (*ctx.sources)[s].valid_data(*ctx.param_space);
+        if (data.size() < 2) return nullptr;
+        rng::Rng sub = rng.split("source-gp").split(s);
+        data = subsample_training_data(data, max_samples, sub);
+        auto gp = std::make_shared<gp::GaussianProcess>(ctx.param_space->dim(),
+                                                        options);
+        gp->fit(data.x, data.y, sub);
+        return gp;
+      });
   std::vector<std::shared_ptr<gp::GaussianProcess>> models;
-  for (std::size_t s = 0; s < ctx.sources->size(); ++s) {
-    TrainingData data = (*ctx.sources)[s].valid_data(*ctx.param_space);
-    if (data.size() < 2) continue;
-    rng::Rng sub = rng.split("source-gp").split(s);
-    data = subsample_training_data(data, max_samples, sub);
-    auto gp = std::make_shared<gp::GaussianProcess>(ctx.param_space->dim(),
-                                                    options);
-    gp->fit(data.x, data.y, sub);
-    models.push_back(std::move(gp));
-  }
+  for (auto& m : fitted)
+    if (m) models.push_back(std::move(m));
   return models;
 }
 

@@ -3,7 +3,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace gptc::core {
+
+namespace {
+
+/// Copies the TLA options with every model/search layer pointed at one
+/// shared pool (no-op when num_threads == 0: all pool fields stay null and
+/// every loop takes its serial path).
+TlaOptions with_thread_pool(const TlaOptions& tla,
+                            std::shared_ptr<parallel::ThreadPool> pool) {
+  TlaOptions out = tla;
+  out.gp.pool = pool;
+  out.lcm.pool = pool;
+  out.acquisition.pool = std::move(pool);
+  return out;
+}
+
+std::shared_ptr<parallel::ThreadPool> make_pool(int num_threads) {
+  if (num_threads <= 0) return nullptr;
+  return std::make_shared<parallel::ThreadPool>(
+      static_cast<std::size_t>(num_threads));
+}
+
+}  // namespace
 
 Tuner::Tuner(const space::TuningProblem& problem, TunerOptions options)
     : problem_(&problem), options_(std::move(options)) {
@@ -29,8 +53,10 @@ TuningResult Tuner::tune(const space::Config& task,
   const bool is_tla =
       options_.algorithm != TlaKind::NoTLA && have_sources;
 
+  const auto pool = make_pool(options_.num_threads);
+  const TlaOptions tla = with_thread_pool(options_.tla, pool);
   auto strategy = make_tla_strategy(
-      is_tla ? options_.algorithm : TlaKind::NoTLA, options_.tla);
+      is_tla ? options_.algorithm : TlaKind::NoTLA, tla);
 
   rng::Rng root(rng::splitmix64(options_.seed + 0x7f4a7c15ULL));
   TlaContext ctx;
@@ -48,7 +74,7 @@ TuningResult Tuner::tune(const space::Config& task,
       if (i == 0) {
         // First evaluation of every TLA algorithm uses the WeightedSum(equal)
         // combined model (paper Sec. VI-A).
-        x = first_eval_proposal(ctx, options_.tla, iter_rng);
+        x = first_eval_proposal(ctx, tla, iter_rng);
         proposer = to_string(TlaKind::WeightedSumEqual);
       } else {
         // The first-eval proposal failed (e.g. the source's optimum is an
@@ -112,9 +138,10 @@ std::vector<TuningResult> Tuner::tune_multitask(
     results[t].history = TaskHistory(tasks[t]);
 
   rng::Rng root(rng::splitmix64(options_.seed + 0x317e9a7cULL));
+  const auto pool = make_pool(options_.num_threads);
+  const TlaOptions tla = with_thread_pool(options_.tla, pool);
   auto model = std::make_shared<gp::LcmModel>(
-      problem_->param_space.dim(), sources.size() + n_tasks,
-      options_.tla.lcm);
+      problem_->param_space.dim(), sources.size() + n_tasks, tla.lcm);
 
   for (int i = 0; i < options_.budget; ++i) {
     rng::Rng iter_rng =
@@ -149,12 +176,12 @@ std::vector<TuningResult> Tuner::tune_multitask(
         if (auto bc = results[t].history.best_config())
           seeds.push_back(problem_->param_space.encode(*bc));
         x = maximize_ei(*view, *best, task_rng, seeds,
-                        options_.tla.acquisition);
+                        tla.acquisition);
       } else if (any_data) {
         // Task has no valid data yet but the joint model exists: follow
         // the model's mean (cross-task transfer).
         const auto view = gp::LcmModel::task_view(model, sources.size() + t);
-        x = minimize_mean(*view, task_rng, {}, options_.tla.acquisition);
+        x = minimize_mean(*view, task_rng, {}, tla.acquisition);
       } else {
         for (double& v : x) v = task_rng.uniform();
       }

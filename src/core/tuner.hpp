@@ -24,6 +24,13 @@ struct TunerOptions {
   TlaKind algorithm = TlaKind::NoTLA;
   TlaOptions tla;
   std::uint64_t seed = 0;
+  /// Worker threads for the tuner's inner loops (GP fit restarts,
+  /// acquisition-search population evaluations, per-source surrogate fits,
+  /// LCM covariance blocks). 0 = fully serial. Results are bitwise
+  /// identical for every value: all parallel units draw from pre-split,
+  /// index-keyed RNG streams and reductions run in fixed index order. The
+  /// black-box objective itself is always called from the tuning thread.
+  int num_threads = 0;
   /// Retry limit when a proposal duplicates an already-evaluated
   /// configuration (common in small integer spaces); after this many
   /// retries the duplicate is evaluated anyway.

@@ -119,6 +119,7 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, rng::Rng& rng) {
     opt::NelderMeadOptions nm;
     nm.max_evaluations = options_.fit_evaluations;
     nm.initial_step = 0.5;
+    nm.pool = options_.pool;  // objective is const over (x_, y_std_)
     const opt::Result best = opt::multistart_nelder_mead(objective, starts, nm);
     la::Vector kh(best.x.begin(), best.x.end() - 1);
     kernel_.set_log_hyper(std::move(kh));

@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cmath>
+#include <memory>
 #include <optional>
 
 #include "gp/kernel.hpp"
 #include "gp/surrogate.hpp"
 #include "la/matrix.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 
 namespace gptc::gp {
@@ -33,6 +35,10 @@ struct GpOptions {
   /// standardized outputs).
   double min_noise = 1e-8;
   HyperBounds bounds;
+  /// Fit restarts run concurrently on this pool (null = serial; the Tuner
+  /// wires this from TunerOptions::num_threads). Fitted hyperparameters are
+  /// bitwise identical for any pool size.
+  std::shared_ptr<parallel::ThreadPool> pool;
 };
 
 class GaussianProcess final : public Surrogate {

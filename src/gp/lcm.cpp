@@ -106,19 +106,7 @@ double LcmModel::neg_log_likelihood(const la::Vector& theta) const {
   for (std::size_t t = 0; t < num_tasks_; ++t)
     pen(theta[noise_base + t], b.log_noise_min, b.log_noise_max);
 
-  la::Matrix km(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    km(i, i) = cov_entry(theta, task_of_[i], x_.row(i), task_of_[i],
-                         x_.row(i)) +
-               std::max(std::exp(theta[noise_base + task_of_[i]]),
-                        options_.min_noise);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v =
-          cov_entry(theta, task_of_[i], x_.row(i), task_of_[j], x_.row(j));
-      km(i, j) = v;
-      km(j, i) = v;
-    }
-  }
+  la::Matrix km = stacked_covariance(theta);
   try {
     const la::Cholesky chol(std::move(km));
     const la::Vector alpha = chol.solve(y_std_);
@@ -219,30 +207,38 @@ void LcmModel::fit(std::vector<TaskData> tasks, rng::Rng& rng) {
   opt::NelderMeadOptions nm;
   nm.max_evaluations = options_.fit_evaluations;
   nm.initial_step = 0.4;
+  nm.pool = options_.pool;  // objective is const over the stacked data
   const opt::Result best = opt::multistart_nelder_mead(objective, starts, nm);
   theta_ = best.x;
   fitted_ = true;
   compute_state();
 }
 
-void LcmModel::compute_state() {
+la::Matrix LcmModel::stacked_covariance(const la::Vector& theta) const {
   const std::size_t n = x_.rows();
   const std::size_t noise_base =
       options_.num_latent * (dim_ + 2 * num_tasks_);
   la::Matrix km(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    km(i, i) =
-        cov_entry(theta_, task_of_[i], x_.row(i), task_of_[i], x_.row(i)) +
-        std::max(std::exp(theta_[noise_base + task_of_[i]]),
-                 options_.min_noise);
+  // Row block i fills the diagonal entry plus the upper row i and its
+  // mirrored column — disjoint writes per i, so the blocks parallelize
+  // without changing a single bit of the matrix.
+  parallel::parallel_for(options_.pool.get(), n, [&](std::size_t i) {
+    km(i, i) = cov_entry(theta, task_of_[i], x_.row(i), task_of_[i],
+                         x_.row(i)) +
+               std::max(std::exp(theta[noise_base + task_of_[i]]),
+                        options_.min_noise);
     for (std::size_t j = i + 1; j < n; ++j) {
       const double v =
-          cov_entry(theta_, task_of_[i], x_.row(i), task_of_[j], x_.row(j));
+          cov_entry(theta, task_of_[i], x_.row(i), task_of_[j], x_.row(j));
       km(i, j) = v;
       km(j, i) = v;
     }
-  }
-  chol_.emplace(std::move(km));
+  });
+  return km;
+}
+
+void LcmModel::compute_state() {
+  chol_.emplace(stacked_covariance(theta_));
   alpha_ = chol_->solve(y_std_);
 }
 

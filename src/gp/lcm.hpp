@@ -25,6 +25,7 @@
 #include "gp/kernel.hpp"
 #include "gp/surrogate.hpp"
 #include "la/matrix.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 
 namespace gptc::gp {
@@ -48,6 +49,11 @@ struct LcmOptions {
   std::size_t max_samples_per_task = 120;
   double min_noise = 1e-8;
   HyperBounds bounds;
+  /// Fit restarts and the stacked-covariance row blocks run concurrently on
+  /// this pool (null = serial). Results are bitwise identical for any pool
+  /// size: each row block writes disjoint entries, and per-task subsampling
+  /// already draws from index-keyed RNG streams.
+  std::shared_ptr<parallel::ThreadPool> pool;
 };
 
 class LcmModel {
@@ -93,6 +99,8 @@ class LcmModel {
                    std::span<const double> xi, std::size_t task_j,
                    std::span<const double> xj) const;
   double neg_log_likelihood(const la::Vector& theta) const;
+  /// K + noise over the stacked samples; rows built in parallel.
+  la::Matrix stacked_covariance(const la::Vector& theta) const;
   void compute_state();
 
   std::size_t dim_;

@@ -129,15 +129,24 @@ Result multistart_nelder_mead(const ObjectiveFn& f,
                               const NelderMeadOptions& options) {
   if (starts.empty())
     throw std::invalid_argument("multistart_nelder_mead: no starts");
+  // Each restart is an independent, deterministic NM run; they may execute
+  // concurrently in any order.
+  std::vector<Result> runs = parallel::parallel_map(
+      options.pool, starts.size(),
+      [&](std::size_t i) { return nelder_mead(f, starts[i], options); });
+  // Reduce in fixed index order, breaking value ties toward the lowest
+  // start index: the winner is a function of the runs alone, not of which
+  // restart happened to finish (or be scanned) last.
   Result best;
-  for (const auto& s : starts) {
-    Result r = nelder_mead(f, s, options);
-    best.evaluations += r.evaluations;
-    if (r.value < best.value) {
-      best.value = r.value;
-      best.x = std::move(r.x);
+  std::size_t best_index = runs.size();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    best.evaluations += runs[i].evaluations;
+    if (best_index == runs.size() || runs[i].value < best.value) {
+      best.value = runs[i].value;
+      best_index = i;
     }
   }
+  best.x = std::move(runs[best_index].x);
   return best;
 }
 
@@ -167,20 +176,26 @@ Result differential_evolution(const ObjectiveFn& f, std::size_t dim,
     for (double& v : x) v = rng.uniform();
     pop.push_back(std::move(x));
   }
-  fitness.reserve(pop.size());
-  for (const auto& x : pop) {
-    const double v = safe_eval(f, x);
-    ++result.evaluations;
-    fitness.push_back(v);
-    if (v < result.value) {
-      result.value = v;
-      result.x = x;
+  parallel::ThreadPool* pool = options.pool.get();
+  fitness = parallel::parallel_map(
+      pool, pop.size(), [&](std::size_t i) { return safe_eval(f, pop[i]); });
+  result.evaluations += static_cast<int>(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (fitness[i] < result.value) {
+      result.value = fitness[i];
+      result.x = pop[i];
     }
   }
 
-  la::Vector trial(dim);
+  // Synchronous (generational) loop: all of a generation's trial vectors
+  // are built from the previous generation's population by the calling
+  // thread's RNG, then evaluated — possibly concurrently — and selection is
+  // applied in index order. Evaluation order can therefore never influence
+  // the result.
+  std::vector<la::Vector> trials(pop.size(), la::Vector(dim));
   for (int gen = 0; gen < options.generations; ++gen) {
     for (int i = 0; i < pop_size; ++i) {
+      la::Vector& trial = trials[static_cast<std::size_t>(i)];
       // Pick three distinct partners != i.
       int a, b, c;
       do { a = static_cast<int>(rng.uniform_int(0, pop_size - 1)); } while (a == i);
@@ -199,14 +214,18 @@ Result differential_evolution(const ObjectiveFn& f, std::size_t dim,
           trial[j] = pop[static_cast<std::size_t>(i)][j];
         }
       }
-      const double v = safe_eval(f, trial);
-      ++result.evaluations;
-      if (v <= fitness[static_cast<std::size_t>(i)]) {
-        pop[static_cast<std::size_t>(i)] = trial;
-        fitness[static_cast<std::size_t>(i)] = v;
-        if (v < result.value) {
-          result.value = v;
-          result.x = trial;
+    }
+    const std::vector<double> trial_fitness = parallel::parallel_map(
+        pool, trials.size(),
+        [&](std::size_t i) { return safe_eval(f, trials[i]); });
+    result.evaluations += pop_size;
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (trial_fitness[i] <= fitness[i]) {
+        pop[i] = trials[i];
+        fitness[i] = trial_fitness[i];
+        if (trial_fitness[i] < result.value) {
+          result.value = trial_fitness[i];
+          result.x = trials[i];
         }
       }
     }

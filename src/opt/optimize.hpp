@@ -13,8 +13,10 @@
 
 #include <functional>
 #include <limits>
+#include <memory>
 
 #include "la/matrix.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 
 namespace gptc::opt {
@@ -34,6 +36,10 @@ struct NelderMeadOptions {
   double f_tolerance = 1e-9;   // stop when simplex f-spread is below this
   double x_tolerance = 1e-8;   // ... or simplex diameter is below this
   bool clamp_unit_cube = false;  // project iterates into [0,1]^d
+  /// Used by multistart_nelder_mead only: restarts run concurrently on this
+  /// pool (null = serial). The objective must then be thread-safe. Results
+  /// are bitwise identical for any pool size.
+  std::shared_ptr<parallel::ThreadPool> pool;
 };
 
 /// Nelder–Mead simplex minimization from the given start point.
@@ -41,7 +47,10 @@ Result nelder_mead(const ObjectiveFn& f, const la::Vector& start,
                    const NelderMeadOptions& options = {});
 
 /// Multistart Nelder–Mead over [0,1]^d (or over starts supplied by the
-/// caller): runs NM from each start and returns the best result.
+/// caller): runs NM from each start and returns the best result. Ties on
+/// the objective value resolve to the lowest start index, so the winner is
+/// independent of the order in which the restarts execute (and of
+/// `options.pool` size).
 Result multistart_nelder_mead(const ObjectiveFn& f,
                               const std::vector<la::Vector>& starts,
                               const NelderMeadOptions& options = {});
@@ -54,9 +63,18 @@ struct DifferentialEvolutionOptions {
   /// Additional points injected into the initial population (e.g. the
   /// incumbent best and previously evaluated configurations).
   std::vector<la::Vector> seeds;
+  /// Population evaluations run concurrently on this pool (null = serial).
+  /// The objective must then be thread-safe. Results are bitwise identical
+  /// for any pool size.
+  std::shared_ptr<parallel::ThreadPool> pool;
 };
 
 /// Differential evolution (rand/1/bin) over the unit cube [0,1]^d.
+///
+/// Synchronous (generational) variant: every trial vector of a generation
+/// is built from the previous generation's population before any selection
+/// is applied, so the population evaluations are independent and can run in
+/// parallel without changing the result.
 Result differential_evolution(const ObjectiveFn& f, std::size_t dim,
                               rng::Rng& rng,
                               const DifferentialEvolutionOptions& options = {});

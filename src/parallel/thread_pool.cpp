@@ -1,0 +1,103 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace gptc::parallel {
+
+namespace {
+thread_local bool tls_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (!pool || pool->size() == 0 || n == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t active = 0;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+  };
+  auto state = std::make_shared<State>();
+  const std::size_t runners = std::min(pool->size(), n);
+  state->active = runners;
+
+  // Each runner pulls the next un-claimed index from a shared counter until
+  // the range is exhausted. Every index runs exactly once, on exactly one
+  // thread, so bodies that only touch their own index's state behave
+  // identically to the serial loop.
+  const auto run = [state, n, &body] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || state->failed.load(std::memory_order_relaxed)) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        if (!state->error || i < state->error_index) {
+          state->error = std::current_exception();
+          state->error_index = i;
+        }
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard lock(state->mutex);
+    if (--state->active == 0) state->done.notify_all();
+  };
+
+  for (std::size_t r = 0; r < runners; ++r) pool->enqueue(run);
+
+  std::unique_lock lock(state->mutex);
+  state->done.wait(lock, [&] { return state->active == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace gptc::parallel

@@ -75,6 +75,13 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
   return weights.size() - 1;  // floating-point tail
 }
 
+std::vector<Rng> Rng::split_streams(std::size_t n) const {
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) streams.push_back(split(i));
+  return streams;
+}
+
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;

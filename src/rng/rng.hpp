@@ -50,6 +50,15 @@ class Rng {
     return Rng(splitmix64(state_ ^ splitmix64(tag + 0x632be59bd9b4e019ULL)));
   }
 
+  /// Pre-splits `n` child streams, one per index: stream i == split(i).
+  ///
+  /// This is the stream contract parallel loops rely on: each parallel unit
+  /// draws only from its own index-keyed stream, so the numbers it sees are
+  /// a function of (parent state, index) alone — independent of execution
+  /// order and of thread count. Splitting is const: deriving streams never
+  /// perturbs the parent.
+  std::vector<Rng> split_streams(std::size_t n) const;
+
   /// Uniform double in [0, 1).
   double uniform();
 

@@ -65,8 +65,10 @@ SaltelliEvaluations saltelli_evaluate(const CubeFn& f, std::size_t dim,
   ev.f_a.resize(n);
   ev.f_b.resize(n);
   ev.f_ab.assign(dim, la::Vector(n));
-  la::Vector a(dim), b(dim), ab(dim);
-  for (std::size_t j = 0; j < n; ++j) {
+  // Each design row j owns the slots f_a[j], f_b[j], f_ab[*][j] — disjoint
+  // writes, so the dim+2 model evaluations per row batch across the pool.
+  parallel::parallel_for(options.pool.get(), n, [&](std::size_t j) {
+    la::Vector a(dim), b(dim), ab(dim);
     for (std::size_t i = 0; i < dim; ++i) {
       a[i] = base[j][i];
       b[i] = base[j][dim + i];
@@ -78,7 +80,7 @@ SaltelliEvaluations saltelli_evaluate(const CubeFn& f, std::size_t dim,
       ab[i] = b[i];
       ev.f_ab[i][j] = f(ab);
     }
-  }
+  });
   return ev;
 }
 

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gp/surrogate.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 #include "space/space.hpp"
 
@@ -30,6 +32,11 @@ struct SobolOptions {
   int bootstrap = 100;
   /// z-score of the reported confidence radius (1.96 ~ 95%).
   double z_score = 1.96;
+  /// Saltelli-design rows (the N * (dim + 2) model evaluations) run
+  /// concurrently on this pool (null = serial). The analyzed function must
+  /// then be thread-safe — surrogate predictions are; arbitrary CubeFns
+  /// must be pure. Indices are bitwise identical for any pool size.
+  std::shared_ptr<parallel::ThreadPool> pool;
 };
 
 /// Per-parameter Sobol indices, in the parameter order of the analyzed

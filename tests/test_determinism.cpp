@@ -1,0 +1,204 @@
+// Serial-vs-parallel equivalence suite: every parallelized path must
+// produce BITWISE identical results for any thread count. These tests run
+// each path at num_threads in {0 (serial), 1, 4, 7} and compare exactly —
+// no tolerances. A failure here means a parallel loop leaked execution
+// order into its result (shared RNG, unordered reduction, racy write).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/tuner.hpp"
+#include "gp/gaussian_process.hpp"
+#include "opt/optimize.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+
+namespace gptc {
+namespace {
+
+using space::Config;
+using space::Value;
+
+/// Pool sizes the equivalence tests sweep. 0 maps to a null pool (the pure
+/// serial path); 7 is deliberately not a divisor of typical work counts.
+const std::size_t kPoolSizes[] = {0, 1, 4, 7};
+
+std::shared_ptr<parallel::ThreadPool> make_pool(std::size_t n) {
+  if (n == 0) return nullptr;
+  return std::make_shared<parallel::ThreadPool>(n);
+}
+
+/// A smooth multimodal test objective on [0,1]^d.
+double rastrigin_like(const la::Vector& x) {
+  double s = 0.0;
+  for (double v : x) {
+    const double z = 2.0 * v - 1.0;
+    s += z * z - 0.3 * std::cos(7.0 * z);
+  }
+  return s;
+}
+
+TEST(DeterminismTest, MultistartNelderMeadIdenticalAcrossPoolSizes) {
+  rng::Rng rng(42);
+  std::vector<la::Vector> starts;
+  for (int i = 0; i < 10; ++i) {
+    la::Vector s(3);
+    for (double& v : s) v = rng.uniform();
+    starts.push_back(s);
+  }
+
+  opt::Result reference;
+  bool have_reference = false;
+  for (std::size_t n : kPoolSizes) {
+    opt::NelderMeadOptions o;
+    o.clamp_unit_cube = true;
+    o.pool = make_pool(n);
+    const opt::Result r = opt::multistart_nelder_mead(rastrigin_like, starts, o);
+    if (!have_reference) {
+      reference = r;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(r.value, reference.value) << "pool size " << n;
+    EXPECT_EQ(r.evaluations, reference.evaluations) << "pool size " << n;
+    ASSERT_EQ(r.x.size(), reference.x.size());
+    for (std::size_t i = 0; i < r.x.size(); ++i)
+      EXPECT_EQ(r.x[i], reference.x[i]) << "pool size " << n << " dim " << i;
+  }
+}
+
+TEST(DeterminismTest, MultistartTieBreaksToLowestStartIndex) {
+  // A flat objective makes every restart tie: the winner must be start 0,
+  // regardless of pool size or completion order.
+  const auto flat = [](const la::Vector&) { return 3.25; };
+  std::vector<la::Vector> starts;
+  for (int i = 0; i < 6; ++i) starts.push_back(la::Vector(2, 0.1 * (i + 1)));
+  for (std::size_t n : kPoolSizes) {
+    opt::NelderMeadOptions o;
+    o.max_evaluations = 20;
+    o.pool = make_pool(n);
+    const opt::Result r = opt::multistart_nelder_mead(flat, starts, o);
+    EXPECT_EQ(r.value, 3.25);
+    // On a flat function NM never moves, so the reported point is the
+    // winning start itself.
+    for (std::size_t i = 0; i < r.x.size(); ++i)
+      EXPECT_EQ(r.x[i], starts[0][i]) << "pool size " << n;
+  }
+}
+
+TEST(DeterminismTest, DifferentialEvolutionIdenticalAcrossPoolSizes) {
+  opt::Result reference;
+  bool have_reference = false;
+  for (std::size_t n : kPoolSizes) {
+    opt::DifferentialEvolutionOptions o;
+    o.population = 20;
+    o.generations = 25;
+    o.pool = make_pool(n);
+    rng::Rng rng(7);  // fresh identically-seeded rng per run
+    const opt::Result r = opt::differential_evolution(rastrigin_like, 4, rng, o);
+    if (!have_reference) {
+      reference = r;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(r.value, reference.value) << "pool size " << n;
+    EXPECT_EQ(r.evaluations, reference.evaluations) << "pool size " << n;
+    for (std::size_t i = 0; i < r.x.size(); ++i)
+      EXPECT_EQ(r.x[i], reference.x[i]) << "pool size " << n << " dim " << i;
+  }
+}
+
+TEST(DeterminismTest, GaussianProcessFitIdenticalAcrossPoolSizes) {
+  // Training data from a fixed stream.
+  rng::Rng data_rng(99);
+  const std::size_t kSamples = 24, kDim = 2;
+  la::Matrix x(kSamples, kDim);
+  la::Vector y(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    la::Vector p(kDim);
+    for (std::size_t d = 0; d < kDim; ++d) {
+      p[d] = data_rng.uniform();
+      x(i, d) = p[d];
+    }
+    y[i] = rastrigin_like(p) + 0.01 * data_rng.normal();
+  }
+
+  la::Vector ref_hyper;
+  gp::Prediction ref_pred;
+  bool have_reference = false;
+  la::Vector query(kDim, 0.4);
+  for (std::size_t n : kPoolSizes) {
+    gp::GpOptions o;
+    o.fit_restarts = 4;  // enough restarts that parallel order could matter
+    o.fit_evaluations = 80;
+    o.pool = make_pool(n);
+    gp::GaussianProcess gp(kDim, o);
+    rng::Rng fit_rng(5);
+    gp.fit(x, y, fit_rng);
+    const la::Vector h = gp.log_hyper();
+    const gp::Prediction pred = gp.predict(query);
+    if (!have_reference) {
+      ref_hyper = h;
+      ref_pred = pred;
+      have_reference = true;
+      continue;
+    }
+    ASSERT_EQ(h.size(), ref_hyper.size());
+    for (std::size_t i = 0; i < h.size(); ++i)
+      EXPECT_EQ(h[i], ref_hyper[i]) << "pool size " << n << " hyper " << i;
+    EXPECT_EQ(pred.mean, ref_pred.mean) << "pool size " << n;
+    EXPECT_EQ(pred.variance, ref_pred.variance) << "pool size " << n;
+  }
+}
+
+TEST(DeterminismTest, EnsembleTunerRunIdenticalAcrossThreadCounts) {
+  // End-to-end: a 20-iteration Ensemble(proposed) run — GP fits, LCM fits,
+  // acquisition DE searches and the TLA ensemble all engaged — must yield
+  // the exact same evaluation history at every thread count.
+  const space::TuningProblem problem = apps::make_demo_problem();
+  const core::TaskHistory source =
+      core::collect_random_samples(problem, {Value(0.8)}, 60, 1234);
+
+  std::vector<double> ref_best;
+  std::vector<double> ref_outputs;
+  bool have_reference = false;
+  for (std::size_t n : kPoolSizes) {
+    core::TunerOptions o;
+    o.budget = 20;
+    o.algorithm = core::TlaKind::EnsembleProposed;
+    o.seed = 11;
+    o.num_threads = static_cast<int>(n);
+    // Shrunk fit budgets keep the 4-way sweep fast without changing what is
+    // being compared.
+    o.tla.gp.fit_restarts = 2;
+    o.tla.gp.fit_evaluations = 50;
+    o.tla.lcm.fit_restarts = 1;
+    o.tla.lcm.fit_evaluations = 60;
+    o.tla.lcm.max_samples_per_task = 30;
+    o.tla.max_source_samples = 40;
+    o.tla.acquisition.de_population = 12;
+    o.tla.acquisition.de_generations = 10;
+    const core::TuningResult r =
+        core::Tuner(problem, o).tune({Value(1.0)}, {source});
+    std::vector<double> outputs;
+    for (const auto& e : r.history.evals()) outputs.push_back(e.output);
+    if (!have_reference) {
+      ref_best = r.best_so_far;
+      ref_outputs = outputs;
+      have_reference = true;
+      continue;
+    }
+    ASSERT_EQ(outputs.size(), ref_outputs.size()) << "threads " << n;
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+      EXPECT_EQ(outputs[i], ref_outputs[i]) << "threads " << n << " iter " << i;
+    ASSERT_EQ(r.best_so_far.size(), ref_best.size());
+    for (std::size_t i = 0; i < ref_best.size(); ++i)
+      EXPECT_EQ(r.best_so_far[i], ref_best[i]) << "threads " << n << " iter " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gptc

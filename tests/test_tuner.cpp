@@ -136,12 +136,12 @@ TEST_F(TunerDemoTest, SourcesWithoutDataFallBackToNoTla) {
 }
 
 TEST_F(TunerDemoTest, FailuresAreRecordedButExcluded) {
-  // Objective that fails (NaN) for x < 0.3: the tuner must survive and
-  // report a finite best.
+  // Objective that fails (NaN) on the lower half of the range: the tuner
+  // must survive and report a finite best.
   space::TuningProblem p = problem_;
   p.objective = [base = problem_.objective](const Config& task,
                                             const Config& params) {
-    if (params[0].as_double() < 0.3)
+    if (params[0].as_double() < 0.5)
       return std::numeric_limits<double>::quiet_NaN();
     return base(task, params);
   };
