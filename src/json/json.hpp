@@ -22,11 +22,6 @@ namespace gptc::json {
 
 class Json;
 
-using Array = std::vector<Json>;
-/// Object keys are kept sorted (std::map) — deterministic serialization is
-/// more valuable to the database layer than insertion order.
-using Object = std::map<std::string, Json>;
-
 /// Thrown on parse errors (with 1-based line/column info in the message) and
 /// on type mismatches in checked accessors.
 class JsonError : public std::runtime_error {
@@ -38,6 +33,13 @@ class JsonError : public std::runtime_error {
 /// tuning parameters survive a database round trip exactly.
 class Json {
  public:
+  // Member aliases (namespace-level spellings below): declared before the
+  // Type enumerators so `Type::Array` never shadows the alias (-Wshadow).
+  using Array = std::vector<Json>;
+  /// Object keys are kept sorted (std::map) — deterministic serialization
+  /// is more valuable to the database layer than insertion order.
+  using Object = std::map<std::string, Json>;
+
   enum class Type { Null, Bool, Int, Double, String, Array, Object };
 
   Json() : value_(nullptr) {}
@@ -131,5 +133,8 @@ class Json {
                Object>
       value_;
 };
+
+using Array = Json::Array;
+using Object = Json::Object;
 
 }  // namespace gptc::json

@@ -1,0 +1,27 @@
+// Fixture: clean file. Exercises the patterns the rules must NOT flag —
+// indexed slot writes, body-local declarations, an annotated
+// order-independent unordered iteration, and strings/comments that merely
+// mention forbidden names.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// A comment mentioning rand() and std::random_device must not trip R1.
+const char* kDocs = "never call srand() or steady_clock::now() here";
+
+int count_positive(const std::unordered_map<std::string, int>& histogram) {
+  int n = 0;
+  // lint: unordered-ok order-independent count; += over ints commutes
+  for (const auto& kv : histogram) {
+    if (kv.second > 0) ++n;
+  }
+  return n;
+}
+
+void scale_all(std::vector<double>& out, std::size_t n) {
+  parallel_for(nullptr, n, [&](std::size_t i) {
+    const double v = static_cast<double>(i) * 0.5;  // body-local: fine
+    out[i] = v;                                     // indexed write: fine
+  });
+}

@@ -1,0 +1,8 @@
+// Fixture: R1 nondeterministic-source. The std::rand() call below must be
+// reported — randomness outside src/rng/ and tools/ breaks replayability of
+// crowd records. (Fixtures are linted, never compiled.)
+#include <cstdlib>
+
+int jitter_percent() {
+  return std::rand() % 100;  // seeded violation: R1
+}

@@ -1,0 +1,13 @@
+// Fixture: R2 unordered-iteration. The range-for below feeds an
+// accumulation whose value depends on bucket order; it carries no
+// `// lint: unordered-ok` annotation, so it must be reported.
+#include <string>
+#include <unordered_map>
+
+double total_weight(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [name, w] : weights) {  // seeded violation: R2
+    sum += w * (name.empty() ? 0.5 : 1.0);
+  }
+  return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: R3 unindexed-capture-write. `last` is captured by reference and
+// assigned without being indexed by the loop variable — a data race whose
+// final value depends on scheduling. Must be reported.
+#include <cstddef>
+#include <vector>
+
+void record_last(std::vector<int>& out, std::size_t n) {
+  int last = 0;
+  parallel_for(nullptr, n, [&](std::size_t i) {
+    last = static_cast<int>(i);  // seeded violation: R3
+    out[i] = last;
+  });
+}

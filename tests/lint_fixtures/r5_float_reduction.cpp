@@ -1,0 +1,13 @@
+// Fixture: R5 float-reduction. A shared double accumulator inside a
+// parallel body: even under a lock the sum depends on thread interleaving
+// because FP addition is non-associative. Must be reported.
+#include <cstddef>
+#include <vector>
+
+double sum_all(const std::vector<double>& xs) {
+  double sum = 0.0;
+  parallel_for(nullptr, xs.size(), [&](std::size_t i) {
+    sum += xs[i];  // seeded violation: R5
+  });
+  return sum;
+}

@@ -1,0 +1,11 @@
+// Fixture: R4 objective-in-parallel. This file sits under a src/parallel/
+// path, so calling the `evaluate` entry point from it must be reported:
+// the substrate stays application-agnostic and the user objective only
+// ever runs on the calling thread.
+#include <cstddef>
+
+double evaluate(const double* x, std::size_t n);
+
+double run_unit(const double* x, std::size_t n) {
+  return evaluate(x, n);  // seeded violation: R4
+}

@@ -1,0 +1,108 @@
+// Tests for gptc-lint (tools/lint/): each of the five determinism rules
+// R1–R5 must be caught on its seeded fixture with the exact file:line, the
+// clean fixture (indexed writes, annotated unordered iteration, forbidden
+// names inside strings/comments) must pass, and the repo's own src/ tree
+// must lint clean — the same invocation the `lint` target and the
+// `lint_src` ctest entry run.
+//
+// The binary path and fixture directory are injected by tests/CMakeLists.txt
+// as GPTC_LINT_BIN / GPTC_LINT_FIXTURES.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+/// Runs a shell command, capturing combined output and the exit status.
+RunResult run(const std::string& command) {
+  RunResult r;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) r.output.append(buf, got);
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(GPTC_LINT_FIXTURES) + "/" + name;
+}
+
+std::string lint_cmd(const std::string& args) {
+  return std::string(GPTC_LINT_BIN) + " " + args;
+}
+
+/// Asserts the linter flags exactly `path:line: [rule]` on the fixture.
+void expect_violation(const std::string& name, int line,
+                      const std::string& rule) {
+  const std::string path = fixture(name);
+  const RunResult r = run(lint_cmd(path));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string expected =
+      path + ":" + std::to_string(line) + ": [" + rule + "]";
+  EXPECT_NE(r.output.find(expected), std::string::npos)
+      << "expected '" << expected << "' in:\n"
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, R1CatchesCPrng) { expect_violation("r1_c_prng.cpp", 7, "R1"); }
+
+TEST(Lint, R2CatchesUnorderedIteration) {
+  expect_violation("r2_unordered_iter.cpp", 9, "R2");
+}
+
+TEST(Lint, R3CatchesUnindexedCaptureWrite) {
+  expect_violation("r3_capture_write.cpp", 10, "R3");
+}
+
+TEST(Lint, R4CatchesObjectiveInParallelLayer) {
+  expect_violation("src/parallel/r4_objective_call.cpp", 10, "R4");
+}
+
+TEST(Lint, R5CatchesFloatReduction) {
+  expect_violation("r5_float_reduction.cpp", 10, "R5");
+}
+
+TEST(Lint, CleanFilePasses) {
+  const RunResult r = run(lint_cmd(fixture("clean_patterns.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, FixtureTreeYieldsExactlyOneFindingPerRule) {
+  const RunResult r = run(lint_cmd(std::string(GPTC_LINT_FIXTURES)));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("5 finding(s)"), std::string::npos) << r.output;
+  for (const char* rule : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]"})
+    EXPECT_NE(r.output.find(rule), std::string::npos)
+        << "missing " << rule << " in:\n"
+        << r.output;
+}
+
+TEST(Lint, RepoSourcesAreClean) {
+  const RunResult r = run(lint_cmd(GPTC_LINT_SRC_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Lint, ListRulesDescribesAllFive) {
+  const RunResult r = run(lint_cmd("--list-rules"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* rule : {"R1 ", "R2 ", "R3 ", "R4 ", "R5 "})
+    EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
+}
+
+TEST(Lint, MissingInputIsAUsageError) {
+  const RunResult r = run(lint_cmd(fixture("does_not_exist.cpp")));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+}  // namespace

@@ -54,9 +54,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(gp::KernelKind::SquaredExponential,
                                          gp::KernelKind::Matern52),
                        ::testing::Values(1, 2, 4, 8)),
-    [](const ::testing::TestParamInfo<KernelCase>& info) {
-      const gp::KernelKind kind = std::get<0>(info.param);
-      const int dim = std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<KernelCase>& param_info) {
+      const gp::KernelKind kind = std::get<0>(param_info.param);
+      const int dim = std::get<1>(param_info.param);
       return std::string(kind == gp::KernelKind::Matern52 ? "Matern52"
                                                           : "SqExp") +
              "_d" + std::to_string(dim);
@@ -106,8 +106,8 @@ INSTANTIATE_TEST_SUITE_P(
         ParamCase{"cat_eight",
                   space::Parameter::categorical(
                       "c", {"a", "b", "c", "d", "e", "f", "g", "h"})}),
-    [](const ::testing::TestParamInfo<ParamCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<ParamCase>& param_info) {
+      return param_info.param.label;
     });
 
 // ---------------------------------------------------------------------------
@@ -219,9 +219,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(DesignKind::Random, DesignKind::Lhs,
                                          DesignKind::Halton),
                        ::testing::Values(1, 3, 8)),
-    [](const ::testing::TestParamInfo<std::tuple<DesignKind, int>>& info) {
-      const DesignKind kind = std::get<0>(info.param);
-      const int dim = std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<std::tuple<DesignKind, int>>& param_info) {
+      const DesignKind kind = std::get<0>(param_info.param);
+      const int dim = std::get<1>(param_info.param);
       const std::string name =
           kind == DesignKind::Random
               ? "Random"

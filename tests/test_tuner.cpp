@@ -103,8 +103,8 @@ TEST_P(TlaAlgorithmTest, FirstEvalOfTlaUsesWeightedSumEqual) {
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, TlaAlgorithmTest,
     ::testing::ValuesIn(all_tla_kinds()),
-    [](const ::testing::TestParamInfo<TlaKind>& info) {
-      std::string n(to_string(info.param));
+    [](const ::testing::TestParamInfo<TlaKind>& param_info) {
+      std::string n(to_string(param_info.param));
       for (char& c : n)
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       return n;

@@ -1,0 +1,120 @@
+// gptc-lint — repo-specific static analysis for the determinism and
+// thread-safety contracts (see lint_rules.hpp for the rule catalogue).
+//
+// Usage:
+//   gptc-lint [--list-rules] [--quiet] <file-or-directory>...
+//
+// Directories are walked recursively for C++ sources/headers. Findings are
+// printed one per line as `path:line: [Rk] message`, sorted by path then
+// line, and the exit status is 1 iff any finding was produced — so the tool
+// drops straight into a CMake custom target or a ctest entry.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+#include "source_scanner.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gptc::lint::Finding;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh";
+}
+
+/// Expands files/directories into a sorted, deduplicated list of sources.
+std::vector<std::string> collect_inputs(const std::vector<std::string>& args,
+                                        std::vector<std::string>& errors) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    const fs::path p(arg);
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintable(it->path()))
+          files.push_back(it->path().generic_string());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.generic_string());
+    } else {
+      errors.push_back("gptc-lint: no such file or directory: " + arg);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      std::cout << gptc::lint::describe_rules();
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gptc-lint [--list-rules] [--quiet] "
+                   "<file-or-directory>...\n\n"
+                << gptc::lint::describe_rules();
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "gptc-lint: unknown option: " << arg << "\n";
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: gptc-lint [--list-rules] [--quiet] "
+                 "<file-or-directory>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> errors;
+  const std::vector<std::string> files = collect_inputs(paths, errors);
+  for (const std::string& e : errors) std::cerr << e << "\n";
+  if (!errors.empty()) return 2;
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    try {
+      const auto scanned = gptc::lint::scan_file(file);
+      const auto ctx = gptc::lint::context_for_path(file);
+      auto file_findings = gptc::lint::run_rules(scanned, ctx);
+      findings.insert(findings.end(),
+                      std::make_move_iterator(file_findings.begin()),
+                      std::make_move_iterator(file_findings.end()));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!quiet) {
+    std::cerr << "gptc-lint: " << findings.size() << " finding(s) in "
+              << files.size() << " file(s) scanned\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

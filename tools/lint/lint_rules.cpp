@@ -1,0 +1,457 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string_view>
+
+namespace gptc::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_id(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Identifier && t.text == s;
+}
+
+bool is_p(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
+/// Keywords that can directly precede a call expression; two adjacent
+/// identifiers where the first is NOT one of these are treated as a
+/// declaration (`TrainingData data`, `double sum`).
+bool is_expr_keyword(std::string_view s) {
+  static const std::set<std::string_view> kw = {
+      "return",    "co_return", "co_yield", "co_await", "throw",  "case",
+      "else",      "do",        "goto",     "new",      "delete", "sizeof",
+      "alignof",   "typeid",    "not",      "and",      "or",     "xor",
+      "constexpr", "if",        "while",    "for",      "switch",
+  };
+  return kw.count(s) != 0;
+}
+
+/// Index of the token matching the opener at `open` (one of ( [ { < ),
+/// counting only that bracket pair. Returns tokens.size() if unmatched.
+std::size_t find_matching(const Tokens& toks, std::size_t open,
+                          std::string_view open_text,
+                          std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_p(toks[i], open_text)) ++depth;
+    else if (is_p(toks[i], close_text)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+void add(std::vector<Finding>& out, const ScannedFile& f, int line,
+         std::string rule, std::string message) {
+  out.push_back(Finding{f.path, line, std::move(rule), std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// R1: nondeterministic sources.
+// ---------------------------------------------------------------------------
+
+void rule_r1(const ScannedFile& f, std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Identifier) continue;
+    const std::string& s = t[i].text;
+    const bool has_next = i + 1 < t.size();
+    if ((s == "rand" || s == "srand") && has_next && is_p(t[i + 1], "(")) {
+      // `std::rand(` / bare `rand(` / `srand(`; skip member calls
+      // (`gen.rand()`) and calls qualified by a non-std namespace.
+      const bool member = i > 0 && (is_p(t[i - 1], ".") || is_p(t[i - 1], "->"));
+      const bool other_ns = i >= 2 && is_p(t[i - 1], "::") &&
+                            !is_id(t[i - 2], "std");
+      if (!member && !other_ns) {
+        add(out, f, t[i].line, "R1",
+            "call to '" + s +
+                "' — use an index-keyed rng::Rng stream "
+                "(Rng::split/split_streams) instead of the C PRNG");
+      }
+    } else if (s == "random_device") {
+      add(out, f, t[i].line, "R1",
+          "std::random_device is nondeterministic — seed an rng::Rng from "
+          "the experiment seed instead");
+    } else if ((s == "steady_clock" || s == "system_clock" ||
+                s == "high_resolution_clock") &&
+               i + 2 < t.size() && is_p(t[i + 1], "::") &&
+               is_id(t[i + 2], "now")) {
+      add(out, f, t[i].line, "R1",
+          "std::chrono::" + s +
+              "::now() in tuner code makes results wall-clock dependent — "
+              "timing belongs in tools/ or bench/");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: iteration over unordered containers.
+// ---------------------------------------------------------------------------
+
+/// Collects names declared with std::unordered_map / std::unordered_set
+/// types in this file (variables, parameters, data members).
+std::set<std::string> unordered_names(const Tokens& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_id(t[i], "unordered_map") && !is_id(t[i], "unordered_set") &&
+        !is_id(t[i], "unordered_multimap") &&
+        !is_id(t[i], "unordered_multiset"))
+      continue;
+    if (i + 1 >= t.size() || !is_p(t[i + 1], "<")) continue;
+    std::size_t close = find_matching(t, i + 1, "<", ">");
+    if (close >= t.size()) continue;
+    // Skip ref/pointer/cv tokens between the template-id and the name.
+    std::size_t j = close + 1;
+    while (j < t.size() &&
+           (is_p(t[j], "&") || is_p(t[j], "*") || is_p(t[j], "&&") ||
+            is_id(t[j], "const")))
+      ++j;
+    if (j < t.size() && t[j].kind == TokKind::Identifier)
+      names.insert(t[j].text);
+  }
+  return names;
+}
+
+void rule_r2(const ScannedFile& f, std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  const std::set<std::string> unordered = unordered_names(t);
+  if (unordered.empty()) return;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for over an unordered container.
+    if (is_id(t[i], "for") && i + 1 < t.size() && is_p(t[i + 1], "(")) {
+      const std::size_t close = find_matching(t, i + 1, "(", ")");
+      if (close >= t.size()) continue;
+      // The range-for ':' sits at parenthesis depth 1 ("::" is a distinct
+      // token, so plain ':' here is unambiguous).
+      std::size_t colon = t.size();
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (is_p(t[j], "(")) ++depth;
+        else if (is_p(t[j], ")")) --depth;
+        else if (is_p(t[j], ":") && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == t.size()) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (t[j].kind == TokKind::Identifier &&
+            unordered.count(t[j].text) != 0) {
+          if (!f.allowed("unordered-ok", t[i].line)) {
+            add(out, f, t[i].line, "R2",
+                "range-for over unordered container '" + t[j].text +
+                    "' — bucket order is implementation-defined; iterate a "
+                    "sorted view, or annotate `// lint: unordered-ok "
+                    "<reason>` if provably order-independent");
+          }
+          break;
+        }
+      }
+    }
+    // Iterator loop: container.begin() / container.cbegin().
+    if (t[i].kind == TokKind::Identifier && unordered.count(t[i].text) != 0 &&
+        i + 2 < t.size() && (is_p(t[i + 1], ".") || is_p(t[i + 1], "->")) &&
+        (is_id(t[i + 2], "begin") || is_id(t[i + 2], "cbegin"))) {
+      if (!f.allowed("unordered-ok", t[i].line)) {
+        add(out, f, t[i].line, "R2",
+            "iterator over unordered container '" + t[i].text +
+                "' — bucket order is implementation-defined; annotate "
+                "`// lint: unordered-ok <reason>` if provably "
+                "order-independent");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3 + R5: writes inside [&] lambdas handed to parallel_for / parallel_map.
+// ---------------------------------------------------------------------------
+
+/// Collects float/double variable names declared anywhere in the file
+/// (`double sum`, `float a, b`). Over-approximate on purpose: also catches
+/// functions returning double, which never appear as `name +=` targets.
+std::set<std::string> float_names(const Tokens& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_id(t[i], "double") && !is_id(t[i], "float")) continue;
+    std::size_t j = i + 1;
+    while (j < t.size() && (is_p(t[j], "&") || is_p(t[j], "*"))) ++j;
+    // Declarator list: name [init] {, name [init]}* terminated by ';'.
+    while (j < t.size() && t[j].kind == TokKind::Identifier) {
+      names.insert(t[j].text);
+      ++j;
+      if (j < t.size() &&
+          (is_p(t[j], "(") || is_p(t[j], "[") || is_p(t[j], "{"))) {
+        const std::string open = t[j].text;
+        const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+        j = find_matching(t, j, open, close);
+        if (j >= t.size()) break;
+        ++j;
+      } else {
+        // Skip a plain `= init` up to ',' or ';' at depth 0.
+        int depth = 0;
+        while (j < t.size()) {
+          if (is_p(t[j], "(") || is_p(t[j], "[") || is_p(t[j], "{")) ++depth;
+          else if (is_p(t[j], ")") || is_p(t[j], "]") || is_p(t[j], "}"))
+            --depth;
+          else if (depth == 0 && (is_p(t[j], ",") || is_p(t[j], ";")))
+            break;
+          ++j;
+        }
+      }
+      if (j < t.size() && is_p(t[j], ",")) {
+        ++j;
+        while (j < t.size() && (is_p(t[j], "&") || is_p(t[j], "*"))) ++j;
+        continue;
+      }
+      break;
+    }
+  }
+  return names;
+}
+
+/// Names declared inside the token range [begin, end): locals, loop
+/// variables and structured bindings. Heuristic: identifier A (not an
+/// expression keyword) followed by optional &/*/&& then identifier B,
+/// where B is followed by a declarator terminator.
+std::set<std::string> local_names(const Tokens& t, std::size_t begin,
+                                  std::size_t end) {
+  std::set<std::string> locals;
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (t[i].kind != TokKind::Identifier || is_expr_keyword(t[i].text))
+      continue;
+    std::size_t j = i + 1;
+    while (j < end && (is_p(t[j], "&") || is_p(t[j], "*") || is_p(t[j], "&&")))
+      ++j;
+    // Structured binding: auto& [a, b] : ...
+    if (j < end && is_p(t[j], "[") && is_id(t[i], "auto")) {
+      const std::size_t close = find_matching(t, j, "[", "]");
+      for (std::size_t k = j + 1; k < close && k < end; ++k)
+        if (t[k].kind == TokKind::Identifier) locals.insert(t[k].text);
+      continue;
+    }
+    if (j >= end || t[j].kind != TokKind::Identifier) continue;
+    const std::size_t name = j;
+    if (j + 1 >= end) continue;
+    const Token& after = t[j + 1];
+    if (is_p(after, "=") || is_p(after, "(") || is_p(after, "{") ||
+        is_p(after, ";") || is_p(after, ",") || is_p(after, "[") ||
+        is_p(after, ":")) {
+      locals.insert(t[name].text);
+      // Multi-declarator: register the names after each depth-0 comma up
+      // to the terminating ';'  (la::Vector a(dim), b(dim), ab(dim);).
+      std::size_t k = name + 1;
+      int depth = 0;
+      while (k < end) {
+        if (is_p(t[k], "(") || is_p(t[k], "[") || is_p(t[k], "{")) ++depth;
+        else if (is_p(t[k], ")") || is_p(t[k], "]") || is_p(t[k], "}")) {
+          if (depth == 0) break;
+          --depth;
+        } else if (depth == 0 && is_p(t[k], ";")) {
+          break;
+        } else if (depth == 0 && is_p(t[k], ",") && k + 1 < end &&
+                   t[k + 1].kind == TokKind::Identifier) {
+          locals.insert(t[k + 1].text);
+        }
+        ++k;
+      }
+    }
+  }
+  return locals;
+}
+
+/// Walks a member chain (`ev.f_a`, `obj->slot`) backwards from the written
+/// identifier at `i`; returns the base identifier's index.
+std::size_t chain_base(const Tokens& t, std::size_t i) {
+  while (i >= 2 && (is_p(t[i - 1], ".") || is_p(t[i - 1], "->")) &&
+         t[i - 2].kind == TokKind::Identifier)
+    i -= 2;
+  return i;
+}
+
+bool is_assign_op(const Token& t) {
+  return t.kind == TokKind::Punct &&
+         (t.text == "=" || t.text == "+=" || t.text == "-=" ||
+          t.text == "*=" || t.text == "/=" || t.text == "%=" ||
+          t.text == "&=" || t.text == "|=" || t.text == "^=" ||
+          t.text == "<<=");
+}
+
+void rules_r3_r5(const ScannedFile& f, std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  const std::set<std::string> floats = float_names(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_id(t[i], "parallel_for") && !is_id(t[i], "parallel_map")) continue;
+    if (i + 1 >= t.size() || !is_p(t[i + 1], "(")) continue;
+    const std::size_t call_close = find_matching(t, i + 1, "(", ")");
+    if (call_close >= t.size()) continue;
+    // Find a by-ref-default capture `[&]` among the arguments. Explicit
+    // captures and `[=]` are out of scope for R3/R5 by design.
+    std::size_t cap = t.size();
+    for (std::size_t j = i + 2; j + 2 < call_close; ++j) {
+      if (is_p(t[j], "[") && is_p(t[j + 1], "&") && is_p(t[j + 2], "]")) {
+        cap = j;
+        break;
+      }
+    }
+    if (cap == t.size()) continue;
+    // Parameter list: the loop index is the last identifier in it (an
+    // unnamed parameter degrades gracefully: no body write can match).
+    if (cap + 3 >= t.size() || !is_p(t[cap + 3], "(")) continue;
+    const std::size_t params_close = find_matching(t, cap + 3, "(", ")");
+    if (params_close >= t.size()) continue;
+    std::string loop_var;
+    for (std::size_t j = cap + 4; j < params_close; ++j)
+      if (t[j].kind == TokKind::Identifier) loop_var = t[j].text;
+    // Body: first '{' after the params (skipping a trailing return type).
+    std::size_t body_open = t.size();
+    for (std::size_t j = params_close + 1;
+         j < std::min(params_close + 24, call_close); ++j) {
+      if (is_p(t[j], "{")) {
+        body_open = j;
+        break;
+      }
+    }
+    if (body_open >= t.size()) continue;
+    const std::size_t body_close = find_matching(t, body_open, "{", "}");
+    if (body_close >= t.size()) continue;
+
+    std::set<std::string> locals = local_names(t, body_open + 1, body_close);
+    if (!loop_var.empty()) locals.insert(loop_var);
+
+    for (std::size_t j = body_open + 1; j < body_close; ++j) {
+      // `name <assign-op>` — a write whose lvalue has no subscript/call,
+      // otherwise the op would follow ']' or ')'.
+      if (t[j].kind == TokKind::Identifier && j + 1 < body_close &&
+          is_assign_op(t[j + 1])) {
+        if (is_p(t[j + 1], "=") && j >= 1 &&
+            (is_p(t[j - 1], "=") || t[j - 1].text == "==")) {
+          continue;  // rhs of comparison chains; defensive
+        }
+        const std::size_t base = chain_base(t, j);
+        // Declarations register the declarator as local, so `double v = ..`
+        // never reaches here as a flagged write.
+        if (t[base].kind != TokKind::Identifier) continue;
+        if (locals.count(t[base].text) != 0) continue;
+        if (base >= 1 && is_p(t[base - 1], "::")) continue;  // qualified-id
+        // Declaration at the write site (`Type name = init`).
+        if (base == j && base >= 1 && t[base - 1].kind == TokKind::Identifier &&
+            !is_expr_keyword(t[base - 1].text))
+          continue;
+        const std::string& name = t[j].text;
+        const bool compound_arith =
+            t[j + 1].text == "+=" || t[j + 1].text == "-=";
+        if (compound_arith && floats.count(name) != 0) {
+          add(out, f, t[j].line, "R5",
+              "floating-point reduction '" + name + " " + t[j + 1].text +
+                  "' inside a parallel body — FP addition is "
+                  "non-associative; reduce on the calling thread in index "
+                  "order instead");
+        } else {
+          add(out, f, t[j].line, "R3",
+              "write to by-ref captured '" + name +
+                  "' is not indexed by the loop variable" +
+                  (loop_var.empty() ? "" : " '" + loop_var + "'") +
+                  " — parallel units must write only their own slot");
+        }
+      }
+      // Increment/decrement of a captured variable.
+      if ((is_p(t[j], "++") || is_p(t[j], "--")) && j + 1 < body_close &&
+          t[j + 1].kind == TokKind::Identifier &&
+          locals.count(t[j + 1].text) == 0 &&
+          (j + 2 >= body_close || !is_p(t[j + 2], "["))) {
+        add(out, f, t[j].line, "R3",
+            "'" + t[j].text + t[j + 1].text +
+                "' on a captured variable inside a parallel body — shared "
+                "counters are not deterministic");
+      } else if (t[j].kind == TokKind::Identifier && j + 1 < body_close &&
+                 (is_p(t[j + 1], "++") || is_p(t[j + 1], "--")) &&
+                 locals.count(t[j].text) == 0 &&
+                 (j < 1 || (!is_p(t[j - 1], ".") && !is_p(t[j - 1], "->") &&
+                            !is_p(t[j - 1], "]")))) {
+        add(out, f, t[j].line, "R3",
+            "'" + t[j].text + t[j + 1].text +
+                "' on a captured variable inside a parallel body — shared "
+                "counters are not deterministic");
+      }
+    }
+    i = body_close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: no objective evaluation from the parallel substrate.
+// ---------------------------------------------------------------------------
+
+void rule_r4(const ScannedFile& f, std::vector<Finding>& out) {
+  static const std::set<std::string_view> entry_points = {
+      "evaluate", "objective", "evaluate_objective", "run_objective",
+  };
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Identifier ||
+        entry_points.count(t[i].text) == 0)
+      continue;
+    if (i + 1 >= t.size() || !is_p(t[i + 1], "(")) continue;
+    // Skip declarations/definitions (`double evaluate(...)`): the previous
+    // token is then a type identifier, not an expression keyword.
+    if (i >= 1 && t[i - 1].kind == TokKind::Identifier &&
+        !is_expr_keyword(t[i - 1].text))
+      continue;
+    add(out, f, t[i].line, "R4",
+        "'" + t[i].text +
+            "(' — the user objective must never run on the parallel "
+            "substrate (src/parallel/); evaluate on the calling thread and "
+            "hand results to the pool");
+  }
+}
+
+}  // namespace
+
+FileContext context_for_path(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  FileContext ctx;
+  const bool in_rng = p.find("src/rng/") != std::string::npos;
+  const bool in_tools = p.find("tools/") != std::string::npos;
+  ctx.rng_exempt = in_rng || in_tools;
+  ctx.parallel_layer = p.find("src/parallel/") != std::string::npos;
+  return ctx;
+}
+
+std::vector<Finding> run_rules(const ScannedFile& file,
+                               const FileContext& ctx) {
+  std::vector<Finding> out;
+  if (!ctx.rng_exempt) rule_r1(file, out);
+  rule_r2(file, out);
+  rules_r3_r5(file, out);
+  if (ctx.parallel_layer) rule_r4(file, out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::string describe_rules() {
+  return
+      "R1 nondeterministic-source   no std::rand/srand/random_device or "
+      "*_clock::now() outside src/rng/ and tools/\n"
+      "R2 unordered-iteration       no iteration over std::unordered_map/"
+      "set (escape: `// lint: unordered-ok <reason>`)\n"
+      "R3 unindexed-capture-write   no un-indexed write to a [&]-captured "
+      "variable inside parallel_for/parallel_map\n"
+      "R4 objective-in-parallel     src/parallel/ must not call evaluate/"
+      "objective entry points\n"
+      "R5 float-reduction           no float/double +=/-= accumulation "
+      "inside a parallel body\n";
+}
+
+}  // namespace gptc::lint

@@ -1,0 +1,71 @@
+// gptc-lint rule definitions.
+//
+// Five repo-specific rules enforce the determinism and thread-safety
+// contract introduced with the deterministic thread pool (src/parallel/):
+//
+//   R1 nondeterministic-source   No std::rand/rand()/srand, no
+//                                std::random_device, no *_clock::now()
+//                                outside src/rng/ and tools/. All
+//                                randomness must flow through rng::Rng so
+//                                crowd records replay bit-for-bit.
+//   R2 unordered-iteration       No iteration over std::unordered_map /
+//                                std::unordered_set (range-for or
+//                                .begin()/.cbegin()): bucket order is
+//                                implementation-defined, so any
+//                                accumulation or output ordering built
+//                                from it is nondeterministic. Escape
+//                                hatch: a `// lint: unordered-ok <reason>`
+//                                comment on the same or preceding line.
+//   R3 unindexed-capture-write   Inside a `[&]` lambda passed to
+//                                parallel_for/parallel_map, no write to a
+//                                captured variable that is not indexed
+//                                (`x = ...` / `++x`); every parallel unit
+//                                may only write its own index's slot.
+//   R4 objective-in-parallel     Files under src/parallel/ must not call
+//                                the user objective (evaluate/objective
+//                                entry points): the substrate stays
+//                                application-agnostic and the objective
+//                                runs on the calling thread only.
+//   R5 float-reduction           No float/double `+=`/`-=` accumulation
+//                                inside a parallel_for body: FP addition
+//                                is non-associative, so a shared
+//                                accumulator's value depends on thread
+//                                interleaving even with a lock. Reduce on
+//                                the calling thread in index order.
+//
+// All rules are token-level heuristics (see source_scanner.hpp): they are
+// deliberately over-eager in the gray zone and rely on the allowlist
+// comment plus code review for the rare legitimate exception.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "source_scanner.hpp"
+
+namespace gptc::lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;     // "R1" .. "R5"
+  std::string message;  // human-readable explanation
+};
+
+/// Path-derived rule configuration for one file.
+struct FileContext {
+  bool rng_exempt = false;     // src/rng/ or tools/: R1 does not apply
+  bool parallel_layer = false;  // src/parallel/: R4 applies
+};
+
+/// Derives the context from a (possibly absolute) file path.
+FileContext context_for_path(const std::string& path);
+
+/// Runs all applicable rules over one scanned file.
+std::vector<Finding> run_rules(const ScannedFile& file,
+                               const FileContext& ctx);
+
+/// One-line-per-rule summary for `gptc-lint --list-rules`.
+std::string describe_rules();
+
+}  // namespace gptc::lint

@@ -1,0 +1,64 @@
+// Lightweight C++ tokenizer for gptc-lint.
+//
+// The linter does not need a real parser: every rule it enforces (see
+// lint_rules.hpp) is a pattern over identifiers, punctuation and brace
+// structure. This scanner turns a source file into a flat token stream with
+// line numbers, strips comments and string/character literals (so `"rand()"`
+// in a message never trips a rule), and records `// lint: <directive>`
+// comments so rules can honour per-site allowlists.
+//
+// Deliberately handled: line and block comments, escaped string/char
+// literals, raw string literals, preprocessor directives (skipped whole,
+// including backslash continuations), digit separators, and the multi-char
+// operators the rules care about (`::`, `+=`, `->`, ...). Deliberately NOT
+// handled: trigraphs, UCNs in identifiers, and `>>` as a single token (two
+// `>` tokens make template-argument scanning simpler and shift operators are
+// irrelevant to every rule).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gptc::lint {
+
+enum class TokKind {
+  Identifier,  // keywords are identifiers too; rules match by spelling
+  Number,
+  Punct,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+/// A `// lint: <name> <reason...>` comment. Directives attach to the line
+/// they appear on; rules treat a directive on line L as covering code on
+/// lines L and L+1, so both trailing and preceding-line placement work.
+struct Directive {
+  std::string name;    // e.g. "unordered-ok"
+  std::string reason;  // free text after the name (may be empty)
+  int line = 0;
+};
+
+struct ScannedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+
+  /// True when a directive named `name` covers `line` (same line or the
+  /// line directly above).
+  bool allowed(std::string_view name, int line) const;
+};
+
+/// Tokenizes `text` as C++ source. Never throws on malformed input: an
+/// unterminated literal or comment simply ends the token stream, which is
+/// the right behaviour for a linter (the compiler will complain louder).
+ScannedFile scan_source(std::string path, std::string_view text);
+
+/// Reads and tokenizes a file. Throws std::runtime_error if unreadable.
+ScannedFile scan_file(const std::string& path);
+
+}  // namespace gptc::lint
