@@ -8,6 +8,8 @@
 
 #include "crowd/envparse.hpp"
 #include "crowd/query_language.hpp"
+#include "db/engine/checksum.hpp"
+#include "db/engine/siphash.hpp"
 
 namespace gptc::crowd {
 
@@ -53,22 +55,52 @@ SharedRepo::SharedRepo(std::uint64_t seed)
   add_software_alias("nimrod", {"NIMROD"});
 }
 
-std::string SharedRepo::generate_api_key() {
+std::string SharedRepo::random_token(std::size_t length,
+                                     std::uint64_t stream_tag) {
   static constexpr char kAlphabet[] =
       "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
   // Salt the stream with persistent store state (how many keys exist), so a
   // reloaded repository never re-mints a previously issued key: without
   // this, two `crowdctl register` runs against the same directory would
-  // derive identical keys from the freshly seeded generator.
+  // derive identical keys from the freshly seeded generator. stream_tag
+  // separates the API-key stream from the hash-salt stream.
   const auto* keys = store_.find_collection("api_keys");
-  rng::Rng stream =
-      key_rng_.split(keys ? static_cast<std::uint64_t>(keys->size()) : 0);
-  std::string key(20, '\0');
-  for (char& c : key)
+  rng::Rng stream = key_rng_.split(
+      (keys ? static_cast<std::uint64_t>(keys->size()) : 0) * 2 + stream_tag);
+  std::string token(length, '\0');
+  for (char& c : token)
     c = kAlphabet[static_cast<std::size_t>(
         stream.uniform_int(0, sizeof(kAlphabet) - 2))];
-  return key;
+  return token;
 }
+
+std::string SharedRepo::generate_api_key() { return random_token(20, 0); }
+
+namespace {
+
+/// Salted SipHash-2-4 of an API key, stored as 16 hex digits (the current
+/// hash_version 2 format).
+std::string hash_api_key_v2(const std::string& salt,
+                            const std::string& api_key) {
+  return db::engine::hex64(db::engine::siphash24(
+      db::engine::siphash_key_from_salt(salt), api_key));
+}
+
+/// Verifies an API key against one stored key document, honouring the
+/// stored hash_version: 2 = salted SipHash-2-4; absent/1 = the legacy fast
+/// FNV hash, kept so repository directories written by older builds still
+/// authenticate.
+bool key_doc_matches(const Json& doc, const std::string& api_key) {
+  const std::int64_t version = doc.get_or("hash_version", Json(1)).as_int();
+  if (version == 2)
+    return doc.get_or("key_hash", Json("")).as_string() ==
+           hash_api_key_v2(doc.get_or("key_salt", Json("")).as_string(),
+                           api_key);
+  return doc.get_or("key_hash", Json("")).as_string() ==
+         std::to_string(rng::hash_tag(api_key));
+}
+
+}  // namespace
 
 std::string SharedRepo::register_user(const std::string& username,
                                       const std::string& email) {
@@ -91,11 +123,16 @@ std::string SharedRepo::issue_api_key(const std::string& username) {
   if (users.count(q) == 0)
     throw std::invalid_argument("issue_api_key: unknown user: " + username);
   const std::string key = generate_api_key();
+  const std::string salt = random_token(16, 1);
   Json doc = Json::object();
   doc["username"] = username;
-  // Only the hash is stored; the plaintext key exists solely in the return
-  // value, mirroring the website's show-once behaviour.
-  doc["key_hash"] = std::to_string(rng::hash_tag(key));
+  // Only the salted hash is stored; the plaintext key exists solely in the
+  // return value, mirroring the website's show-once behaviour. The format
+  // is versioned so directories written with the legacy FNV hash
+  // (hash_version absent) keep authenticating — see key_doc_matches.
+  doc["hash_version"] = 2;
+  doc["key_salt"] = salt;
+  doc["key_hash"] = hash_api_key_v2(salt, key);
   doc["revoked"] = false;
   store_.collection("api_keys").insert(std::move(doc));
   return key;
@@ -105,21 +142,32 @@ std::optional<std::string> SharedRepo::authenticate(
     const std::string& api_key) const {
   const auto* keys = store_.find_collection("api_keys");
   if (!keys) return std::nullopt;
-  Json q = Json::object();
-  q["key_hash"] = std::to_string(rng::hash_tag(api_key));
-  q["revoked"] = false;
-  const Json doc = keys->find_one(q);
-  if (doc.is_null()) return std::nullopt;
-  return doc.at("username").as_string();
+  // Salted hashes cannot be equality-queried (each document has its own
+  // salt), so verification walks the key documents in insertion order —
+  // the collection holds one document per issued key, not per record.
+  for (const auto& doc : keys->all()) {
+    if (doc.get_or("revoked", Json(false)).as_bool()) continue;
+    if (key_doc_matches(doc, api_key)) return doc.at("username").as_string();
+  }
+  return std::nullopt;
 }
 
 bool SharedRepo::revoke_api_key(const std::string& api_key) {
+  auto& keys = store_.collection("api_keys");
+  std::int64_t id = -1;
+  for (const auto& doc : keys.all()) {
+    if (doc.get_or("revoked", Json(false)).as_bool()) continue;
+    if (key_doc_matches(doc, api_key)) {
+      id = doc.at("_id").as_int();
+      break;
+    }
+  }
+  if (id < 0) return false;
   Json q = Json::object();
-  q["key_hash"] = std::to_string(rng::hash_tag(api_key));
-  q["revoked"] = false;
+  q["_id"] = id;
   Json upd = Json::object();
   upd["revoked"] = true;
-  return store_.collection("api_keys").update(q, upd) > 0;
+  return keys.update(q, upd) > 0;
 }
 
 std::size_t SharedRepo::num_users() const {
@@ -316,7 +364,13 @@ std::vector<Json> SharedRepo::query_function_evaluations(
   const auto* evals = store_.find_collection("func_eval");
   std::vector<Json> out;
   if (!evals) return out;
-  for (const auto& record : evals->all()) {
+  // Partition by problem name through the store's query planner: with the
+  // default indexes declared this is an index lookup instead of a full
+  // scan, and find() returns insertion order either way, so results are
+  // byte-identical with indexes on or off.
+  Json q = Json::object();
+  q["problem"] = meta.tuning_problem_name;
+  for (const auto& record : evals->find(q)) {
     if (!record_visible(record, user)) continue;
     if (!record_matches_meta(record, meta)) continue;
     out.push_back(record);
@@ -332,9 +386,9 @@ std::vector<Json> SharedRepo::query_where(const std::string& api_key,
   const auto* evals = store_.find_collection("func_eval");
   std::vector<Json> out;
   if (!evals) return out;
-  for (const auto& record : evals->all()) {
-    if (record.get_or("problem", Json("")).as_string() != problem_name)
-      continue;
+  Json q = Json::object();
+  q["problem"] = problem_name;
+  for (const auto& record : evals->find(q)) {
     if (!record_visible(record, user)) continue;
     if (!db::matches(record, condition)) continue;
     out.push_back(record);
@@ -474,6 +528,28 @@ SharedRepo SharedRepo::load(const std::filesystem::path& dir,
   SharedRepo repo(seed);
   repo.store_ = db::DocumentStore::load(dir);
   return repo;
+}
+
+SharedRepo SharedRepo::open_durable(const std::filesystem::path& dir,
+                                    std::uint64_t seed,
+                                    db::engine::EngineOptions options) {
+  SharedRepo repo(seed);
+  repo.store_ = db::DocumentStore::open_durable(dir, std::move(options));
+  repo.declare_default_indexes();
+  return repo;
+}
+
+void SharedRepo::declare_default_indexes() {
+  auto& evals = store_.collection("func_eval");
+  evals.create_index("problem");
+  evals.create_index("machine_configuration.machine_name");
+  store_.collection("users").create_index("username");
+}
+
+void SharedRepo::declare_task_parameter_index(
+    const std::string& parameter_name) {
+  store_.collection("func_eval").create_index("task_parameters." +
+                                              parameter_name);
 }
 
 }  // namespace gptc::crowd

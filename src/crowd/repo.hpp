@@ -7,10 +7,13 @@
 // QueryPredictOutput, QuerySensitivityAnalysis).
 //
 // The backing store is the JSON document store in src/db — the single-node
-// equivalent of the paper's MongoDB deployment. API keys are random
-// 20-character strings; only a hash is stored (a stand-in for the site's
-// password-grade storage — the hash here is a fast non-cryptographic one,
-// which is fine for a simulation substrate but called out in DESIGN.md).
+// equivalent of the paper's MongoDB deployment. open_durable() opens it on
+// the src/db/engine storage engine (write-ahead log + atomic snapshots +
+// crash recovery) and declares the secondary indexes the crowd queries
+// route through; load()/save() remain the legacy diffable-JSON mode. API
+// keys are random 20-character strings; only a salted SipHash-2-4 hash is
+// stored (hash_version 2 — stores written by older builds with the fast
+// FNV stand-in still authenticate via the versioned fallback).
 #pragma once
 
 #include <filesystem>
@@ -149,9 +152,32 @@ class SharedRepo {
   static SharedRepo load(const std::filesystem::path& dir,
                          std::uint64_t seed = 0x6a09e667f3bcc908ULL);
 
+  /// Opens `dir` on the storage engine (WAL + snapshots + crash recovery;
+  /// see src/db/engine/engine.hpp) and declares the default secondary
+  /// indexes. A directory written by save() is migrated on first open.
+  static SharedRepo open_durable(const std::filesystem::path& dir,
+                                 std::uint64_t seed = 0x6a09e667f3bcc908ULL,
+                                 db::engine::EngineOptions options = {});
+
+  /// Declares the ordered secondary indexes the crowd queries are planned
+  /// against: func_eval.problem (the partition key of every repo query) and
+  /// func_eval."machine_configuration.machine_name". Idempotent; indexing
+  /// never changes query results, only how candidates are found.
+  void declare_default_indexes();
+
+  /// Declares an index on one task parameter ("task_parameters.<name>") for
+  /// meta queries that range over task sizes within a problem partition.
+  void declare_task_parameter_index(const std::string& parameter_name);
+
+  /// Durable mode: fsync pending WAL batches / force snapshot + compaction.
+  /// No-ops on a legacy in-memory repo.
+  void sync() { store_.sync(); }
+  void checkpoint() { store_.checkpoint_all(); }
+
   const db::DocumentStore& store() const { return store_; }
 
  private:
+  std::string random_token(std::size_t length, std::uint64_t stream_tag);
   std::string generate_api_key();
   bool record_visible(const json::Json& record,
                       const std::string& username) const;

@@ -1,6 +1,9 @@
 #include "db/document_store.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -62,6 +65,18 @@ bool is_operator_object(const Json& j) {
   return true;
 }
 
+/// A non-empty all-digit segment is an array index; anything longer than
+/// any realistic array is rejected before it can overflow.
+std::optional<std::size_t> parse_array_index(const std::string& key) {
+  if (key.empty() || key.size() > 9) return std::nullopt;
+  std::size_t idx = 0;
+  for (char c : key) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    idx = idx * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return idx;
+}
+
 }  // namespace
 
 const Json* lookup_path(const Json& document, const std::string& path) {
@@ -70,8 +85,15 @@ const Json* lookup_path(const Json& document, const std::string& path) {
   while (true) {
     const std::size_t dot = path.find('.', start);
     const std::string key = path.substr(start, dot - start);
-    if (!cur->is_object() || !cur->contains(key)) return nullptr;
-    cur = &cur->at(key);
+    if (cur->is_object() && cur->contains(key)) {
+      cur = &cur->at(key);
+    } else if (cur->is_array()) {
+      const auto idx = parse_array_index(key);
+      if (!idx || *idx >= cur->size()) return nullptr;
+      cur = &cur->at(*idx);
+    } else {
+      return nullptr;
+    }
     if (dot == std::string::npos) return cur;
     start = dot + 1;
   }
@@ -113,54 +135,239 @@ bool matches(const Json& document, const Json& query) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Collection
+
 std::int64_t Collection::insert(Json document) {
   if (!document.is_object())
     throw json::JsonError("Collection::insert: document must be an object");
-  const std::int64_t id = next_id_++;
+  std::unique_lock lock(*mu_);
+  const std::int64_t id = next_id_;
   document["_id"] = id;
+  if (engine_) {
+    Json op = Json::object();
+    op["o"] = "i";
+    op["d"] = document;
+    engine_->log_op(*this, op);  // write-ahead: log before apply
+  }
+  ++next_id_;
+  id_pos_[id] = docs_.size();
+  index_doc(document);
   docs_.push_back(std::move(document));
+  if (engine_) engine_->maybe_checkpoint(*this);
   return id;
 }
 
+std::optional<std::vector<std::int64_t>> Collection::plan(
+    const Json& query) const {
+  if (indexes_.empty() || !query.is_object()) return std::nullopt;
+  for (const auto& [key, condition] : query.as_object()) {
+    if (!key.empty() && key[0] == '$') continue;  // $and/$or/$not: scan
+    const auto it = indexes_.find(key);
+    if (it == indexes_.end()) continue;
+    // Top-level fields are conjunctive, so one field's candidates are a
+    // superset of the query's matches; the full predicate re-filters below.
+    if (auto ids = it->second.candidates(condition)) return ids;
+  }
+  return std::nullopt;
+}
+
+const Json* Collection::doc_by_id(std::int64_t id) const {
+  const auto it = id_pos_.find(id);
+  return it == id_pos_.end() ? nullptr : &docs_[it->second];
+}
+
 std::vector<Json> Collection::find(const Json& query) const {
+  std::shared_lock lock(*mu_);
   std::vector<Json> out;
+  if (const auto ids = plan(query)) {
+    // Ids ascend in insertion order, so the result order matches a scan.
+    for (const std::int64_t id : *ids) {
+      const Json* d = doc_by_id(id);
+      if (d && matches(*d, query)) out.push_back(*d);
+    }
+    return out;
+  }
   for (const auto& d : docs_)
     if (matches(d, query)) out.push_back(d);
   return out;
 }
 
 Json Collection::find_one(const Json& query) const {
+  std::shared_lock lock(*mu_);
+  if (const auto ids = plan(query)) {
+    for (const std::int64_t id : *ids) {
+      const Json* d = doc_by_id(id);
+      if (d && matches(*d, query)) return *d;
+    }
+    return Json();
+  }
   for (const auto& d : docs_)
     if (matches(d, query)) return d;
   return Json();
 }
 
 std::size_t Collection::count(const Json& query) const {
+  std::shared_lock lock(*mu_);
   std::size_t n = 0;
+  if (const auto ids = plan(query)) {
+    for (const std::int64_t id : *ids) {
+      const Json* d = doc_by_id(id);
+      if (d && matches(*d, query)) ++n;
+    }
+    return n;
+  }
   for (const auto& d : docs_)
     if (matches(d, query)) ++n;
   return n;
 }
 
 std::size_t Collection::remove(const Json& query) {
-  const std::size_t before = docs_.size();
-  std::erase_if(docs_, [&](const Json& d) { return matches(d, query); });
-  return before - docs_.size();
+  std::unique_lock lock(*mu_);
+  if (engine_) {
+    Json op = Json::object();
+    op["o"] = "r";
+    op["q"] = query;
+    engine_->log_op(*this, op);
+  }
+  const std::size_t n = remove_locked(query);
+  if (engine_) engine_->maybe_checkpoint(*this);
+  return n;
+}
+
+std::size_t Collection::remove_locked(const Json& query) {
+  std::vector<Json> kept;
+  kept.reserve(docs_.size());
+  std::size_t removed = 0;
+  for (auto& d : docs_) {
+    if (matches(d, query)) {
+      unindex_doc(d);
+      ++removed;
+    } else {
+      kept.push_back(std::move(d));
+    }
+  }
+  if (removed != 0) {
+    docs_ = std::move(kept);
+    id_pos_.clear();
+    for (std::size_t i = 0; i < docs_.size(); ++i)
+      id_pos_[docs_[i].at("_id").as_int()] = i;
+  }
+  return removed;
 }
 
 std::size_t Collection::update(const Json& query, const Json& update) {
   if (!update.is_object())
     throw json::JsonError("Collection::update: update must be an object");
+  std::unique_lock lock(*mu_);
+  if (engine_) {
+    Json op = Json::object();
+    op["o"] = "u";
+    op["q"] = query;
+    op["u"] = update;
+    engine_->log_op(*this, op);
+  }
+  const std::size_t n = update_locked(query, update);
+  if (engine_) engine_->maybe_checkpoint(*this);
+  return n;
+}
+
+std::size_t Collection::update_locked(const Json& query, const Json& update) {
   std::size_t n = 0;
   for (auto& d : docs_) {
     if (!matches(d, query)) continue;
+    unindex_doc(d);
     for (const auto& [k, v] : update.as_object()) {
       if (k == "_id") continue;  // ids are immutable
       d[k] = v;
     }
+    index_doc(d);
     ++n;
   }
   return n;
+}
+
+void Collection::create_index(const std::string& path) {
+  std::unique_lock lock(*mu_);
+  auto it = indexes_.find(path);
+  if (it == indexes_.end())
+    it = indexes_.emplace(path, engine::OrderedIndex(path)).first;
+  else
+    it->second.clear();
+  for (const auto& d : docs_) it->second.add(d, d.at("_id").as_int());
+}
+
+bool Collection::has_index(const std::string& path) const {
+  std::shared_lock lock(*mu_);
+  return indexes_.find(path) != indexes_.end();
+}
+
+std::vector<std::string> Collection::index_paths() const {
+  std::shared_lock lock(*mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, idx] : indexes_) {
+    (void)idx;
+    out.push_back(path);
+  }
+  return out;
+}
+
+void Collection::index_doc(const Json& doc) {
+  const std::int64_t id = doc.at("_id").as_int();
+  for (auto& [path, idx] : indexes_) {
+    (void)path;
+    idx.add(doc, id);
+  }
+}
+
+void Collection::unindex_doc(const Json& doc) {
+  const std::int64_t id = doc.at("_id").as_int();
+  for (auto& [path, idx] : indexes_) {
+    (void)path;
+    idx.erase(doc, id);
+  }
+}
+
+void Collection::rebuild_derived() {
+  id_pos_.clear();
+  for (std::size_t i = 0; i < docs_.size(); ++i)
+    id_pos_[docs_[i].at("_id").as_int()] = i;
+  for (auto& [path, idx] : indexes_) {
+    (void)path;
+    idx.clear();
+    for (const auto& d : docs_) idx.add(d, d.at("_id").as_int());
+  }
+}
+
+void Collection::restore(const Json& j) {
+  next_id_ = j.at("next_id").as_int();
+  docs_.clear();
+  for (const auto& d : j.at("docs").as_array()) docs_.push_back(d);
+  rebuild_derived();
+}
+
+void Collection::replay_insert(Json document) {
+  std::unique_lock lock(*mu_);
+  const std::int64_t id = document.at("_id").as_int();
+  next_id_ = std::max(next_id_, id + 1);
+  id_pos_[id] = docs_.size();
+  index_doc(document);
+  docs_.push_back(std::move(document));
+}
+
+void Collection::apply_op(const Json& op) {
+  const std::string& kind = op.at("o").as_string();
+  if (kind == "i") {
+    replay_insert(op.at("d"));
+  } else if (kind == "u") {
+    // Public update(): the engine's replay flag suppresses re-logging.
+    update(op.at("q"), op.at("u"));
+  } else if (kind == "r") {
+    remove(op.at("q"));
+  } else {
+    throw std::runtime_error("wal replay: unknown op '" + kind +
+                             "' in collection " + name_);
+  }
 }
 
 Json Collection::to_json() const {
@@ -175,15 +382,19 @@ Json Collection::to_json() const {
 
 Collection Collection::from_json(const Json& j) {
   Collection c(j.at("name").as_string());
-  c.next_id_ = j.at("next_id").as_int();
-  for (const auto& d : j.at("docs").as_array()) c.docs_.push_back(d);
+  c.restore(j);
   return c;
 }
 
+// ---------------------------------------------------------------------------
+// DocumentStore
+
 Collection& DocumentStore::collection(const std::string& name) {
   auto it = collections_.find(name);
-  if (it == collections_.end())
+  if (it == collections_.end()) {
     it = collections_.emplace(name, Collection(name)).first;
+    if (engine_) it->second.attach_engine(engine_.get());
+  }
   return it->second;
 }
 
@@ -202,12 +413,12 @@ std::vector<std::string> DocumentStore::collection_names() const {
   return names;
 }
 
-void DocumentStore::save(const std::filesystem::path& dir) const {
+void DocumentStore::export_json(const std::filesystem::path& dir) const {
   std::filesystem::create_directories(dir);
   for (const auto& [name, c] : collections_) {
     std::ofstream out(dir / (name + ".json"));
     if (!out)
-      throw std::runtime_error("DocumentStore::save: cannot write " +
+      throw std::runtime_error("DocumentStore::export_json: cannot write " +
                                (dir / (name + ".json")).string());
     out << c.to_json().dump(2) << "\n";
   }
@@ -226,6 +437,27 @@ DocumentStore DocumentStore::load(const std::filesystem::path& dir) {
     store.collections_.emplace(name, std::move(c));
   }
   return store;
+}
+
+DocumentStore DocumentStore::open_durable(const std::filesystem::path& dir,
+                                          engine::EngineOptions options) {
+  DocumentStore store;
+  store.engine_ =
+      std::make_unique<engine::StorageEngine>(dir, std::move(options));
+  store.engine_->recover(store);
+  return store;
+}
+
+void DocumentStore::sync() {
+  if (engine_) engine_->sync();
+}
+
+void DocumentStore::checkpoint_all() {
+  if (!engine_) return;
+  for (auto& [name, c] : collections_) {
+    (void)name;
+    engine_->checkpoint(c);
+  }
 }
 
 }  // namespace gptc::db

@@ -10,18 +10,39 @@
 //    "machine_configuration.machine_name": {"$in": ["Cori", "cori"]}}
 //
 // Supported operators: $eq, $ne, $gt, $gte, $lt, $lte, $in, $nin, $exists,
-// plus top-level/nested $and, $or, $not. Field paths use dot notation. A
-// store can persist itself to a directory (one pretty-printed JSON file per
-// collection), which keeps the shared repository diffable and inspectable.
+// plus top-level/nested $and, $or, $not. Field paths use dot notation and
+// may step through arrays with numeric segments ("tuning_parameters.grid.0").
+//
+// Two persistence modes:
+//  - export_json()/load(): one pretty-printed JSON file per collection —
+//    diffable and inspectable, but the rewrite is not crash-atomic. Kept as
+//    the explicit export format.
+//  - open_durable(): the storage engine in src/db/engine — per-collection
+//    write-ahead log with CRC32/SipHash-framed records and group commit,
+//    atomic snapshot + compaction, and crash recovery that tolerates a torn
+//    final record. The Collection/DocumentStore API is identical in both
+//    modes.
+//
+// Collections also support ordered secondary indexes on dot-paths
+// (create_index): $eq/$in/$gt/$gte/$lt/$lte predicates on an indexed path
+// are routed through the index (results stay byte-identical to a scan —
+// the index only narrows candidates), everything else falls back to the
+// full scan. Reads take a shared lock and mutations an exclusive lock, so
+// many readers / one writer per collection is safe.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "db/engine/engine.hpp"
+#include "db/engine/index.hpp"
 #include "json/json.hpp"
 
 namespace gptc::db {
@@ -32,20 +53,25 @@ using json::Json;
 /// reuse (the crowd layer post-filters nested arrays with it).
 bool matches(const Json& document, const Json& query);
 
-/// Looks up a dot-separated path ("a.b.c") in a document. Returns nullptr
-/// if any step is missing or not an object.
+/// Looks up a dot-separated path ("a.b.c") in a document. Purely numeric
+/// segments index into arrays ("grid.0" is grid[0]). Returns nullptr if any
+/// step is missing, out of bounds, or applied to a non-container.
 const Json* lookup_path(const Json& document, const std::string& path);
 
 class Collection {
  public:
-  explicit Collection(std::string name) : name_(std::move(name)) {}
+  explicit Collection(std::string name)
+      : name_(std::move(name)), mu_(std::make_unique<std::shared_mutex>()) {}
+
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
 
   const std::string& name() const { return name_; }
   std::size_t size() const { return docs_.size(); }
   bool empty() const { return docs_.empty(); }
 
   /// Inserts a document (must be a JSON object); assigns and returns its
-  /// "_id".
+  /// "_id". In durable mode the op is WAL-logged before it is applied.
   std::int64_t insert(Json document);
 
   /// All documents matching the query, in insertion order.
@@ -63,33 +89,96 @@ class Collection {
   /// all matches; returns how many documents changed.
   std::size_t update(const Json& query, const Json& update);
 
+  /// Declares (or rebuilds) an ordered secondary index on a dot-path.
+  /// Idempotent; existing documents are indexed immediately. Index
+  /// definitions are in-memory only — reopening a store re-declares them.
+  void create_index(const std::string& path);
+  bool has_index(const std::string& path) const;
+  std::vector<std::string> index_paths() const;
+
+  /// Raw document access, in insertion order. NOT thread-safe against
+  /// concurrent writers: unlike find/count, iteration of the returned
+  /// reference happens outside the collection lock.
   const std::vector<Json>& all() const { return docs_; }
 
   /// Serialization for persistence: {"name":..., "next_id":..., "docs":[...]}.
+  /// Not internally locked (snapshots call it under the writer lock).
   Json to_json() const;
   static Collection from_json(const Json& j);
 
  private:
+  friend class DocumentStore;
+  friend class engine::StorageEngine;
+
+  // --- engine plumbing (all called with or before any concurrent use) ----
+  void attach_engine(engine::StorageEngine* e) { engine_ = e; }
+  /// Replaces state from a snapshot / legacy export (to_json shape).
+  void restore(const Json& j);
+  /// Applies one WAL op payload during replay (logging suppressed by the
+  /// engine's replay flag).
+  void apply_op(const Json& op);
+  /// Insert preserving the already-assigned "_id" (WAL replay).
+  void replay_insert(Json document);
+
+  // --- internals (callers hold the appropriate lock) ---------------------
+  std::size_t update_locked(const Json& query, const Json& update);
+  std::size_t remove_locked(const Json& query);
+  void index_doc(const Json& doc);
+  void unindex_doc(const Json& doc);
+  void rebuild_derived();  // id lookup + all indexes, from docs_
+  const Json* doc_by_id(std::int64_t id) const;
+  /// Index-served candidate ids (sorted = insertion order) for a query, or
+  /// nullopt when no declared index can narrow it.
+  std::optional<std::vector<std::int64_t>> plan(const Json& query) const;
+
   std::string name_;
   std::int64_t next_id_ = 1;
   std::vector<Json> docs_;
+  std::map<std::int64_t, std::size_t> id_pos_;
+  std::map<std::string, engine::OrderedIndex> indexes_;
+  engine::StorageEngine* engine_ = nullptr;  // owned by the DocumentStore
+  mutable std::unique_ptr<std::shared_mutex> mu_;
 };
 
 class DocumentStore {
  public:
+  DocumentStore() = default;
+  DocumentStore(DocumentStore&&) = default;
+  DocumentStore& operator=(DocumentStore&&) = default;
+
   /// Gets (creating on demand) a collection.
   Collection& collection(const std::string& name);
   const Collection* find_collection(const std::string& name) const;
   std::vector<std::string> collection_names() const;
 
-  /// Writes every collection as <dir>/<name>.json (creating dir).
-  void save(const std::filesystem::path& dir) const;
+  /// Writes every collection as <dir>/<name>.json (creating dir) — the
+  /// diffable, inspectable export. Not crash-atomic; durable stores persist
+  /// through their WAL/snapshots and use this only for exports.
+  void export_json(const std::filesystem::path& dir) const;
+  /// Backwards-compatible alias for export_json().
+  void save(const std::filesystem::path& dir) const { export_json(dir); }
 
-  /// Loads every *.json collection file from the directory.
+  /// Loads every *.json collection file from the directory (legacy /
+  /// in-memory mode; no durability attached).
   static DocumentStore load(const std::filesystem::path& dir);
+
+  /// Opens a directory with the storage engine: replays snapshots + WALs
+  /// (bootstrapping from *.json exports if no engine files exist yet) and
+  /// WAL-logs every subsequent mutation. See src/db/engine/engine.hpp.
+  static DocumentStore open_durable(const std::filesystem::path& dir,
+                                    engine::EngineOptions options = {});
+
+  bool durable() const { return engine_ != nullptr; }
+  engine::StorageEngine* storage_engine() { return engine_.get(); }
+
+  /// Durable mode: fsync pending group-commit batches / force snapshots and
+  /// WAL truncation for every collection. No-ops when not durable.
+  void sync();
+  void checkpoint_all();
 
  private:
   std::map<std::string, Collection> collections_;
+  std::unique_ptr<engine::StorageEngine> engine_;
 };
 
 }  // namespace gptc::db

@@ -1,0 +1,80 @@
+#include "db/engine/checksum.hpp"
+
+#include <array>
+
+namespace gptc::db::engine {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data)
+    c = kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string hex32(std::uint32_t v) {
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xFu];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xFu];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> parse_hex32(std::string_view s) {
+  if (s.size() != 8) return std::nullopt;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    const int d = hex_value(c);
+    if (d < 0) return std::nullopt;
+    v = (v << 4) | static_cast<std::uint32_t>(d);
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> parse_hex64(std::string_view s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    const int d = hex_value(c);
+    if (d < 0) return std::nullopt;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace gptc::db::engine

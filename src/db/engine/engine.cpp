@@ -1,0 +1,142 @@
+#include "db/engine/engine.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "db/document_store.hpp"
+#include "db/engine/snapshot.hpp"
+
+namespace gptc::db::engine {
+
+using json::Json;
+
+StorageEngine::StorageEngine(std::filesystem::path dir, EngineOptions opts)
+    : dir_(std::move(dir)), opts_(std::move(opts)) {
+  std::filesystem::create_directories(dir_);
+}
+
+void StorageEngine::recover(DocumentStore& store) {
+  replaying_ = true;
+
+  // Enumerate collections from their on-disk artifacts; std::set keeps the
+  // recovery order deterministic regardless of directory iteration order.
+  std::set<std::string> names;
+  std::vector<std::filesystem::path> stale_tmps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::filesystem::path& p = entry.path();
+    const std::string ext = p.extension().string();
+    if (ext == ".tmp" && p.stem().extension().string() == ".snapshot") {
+      stale_tmps.push_back(p);  // crash before rename: the tmp never counts
+    } else if (ext == ".snapshot" || ext == ".wal") {
+      names.insert(p.stem().string());
+    } else if (ext == ".json") {
+      names.insert(p.stem().string());  // legacy export, migration source
+    }
+  }
+  for (const auto& tmp : stale_tmps) std::filesystem::remove(tmp);
+
+  for (const std::string& name : names) {
+    Collection& c = store.collection(name);
+    const std::filesystem::path snap_path = dir_ / (name + ".snapshot");
+    const std::filesystem::path wal_path = dir_ / (name + ".wal");
+
+    std::uint64_t last_seq = 0;
+    bool from_legacy_export = false;
+    if (const auto snap = read_snapshot(snap_path)) {
+      c.restore(snap->collection_state);
+      last_seq = snap->last_seq;
+    } else if (std::filesystem::exists(dir_ / (name + ".json"))) {
+      // One-time migration from the diffable JSON export: it becomes the
+      // base state, and we snapshot immediately below so later exports can
+      // never be mistaken for a base again.
+      std::ifstream in(dir_ / (name + ".json"));
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const Json j = Json::parse(buf.str());
+      if (j.at("name").as_string() != name)
+        throw std::runtime_error("engine: collection file " + name +
+                                 ".json names collection '" +
+                                 j.at("name").as_string() + "'");
+      c.restore(j);
+      from_legacy_export = true;
+    }
+
+    const WalReplay replay = replay_wal(wal_path, wal_format());
+    std::uint64_t next_seq = last_seq + 1;
+    for (const auto& rec : replay.records) {
+      // Records at or below the snapshot's last_seq are already reflected
+      // in the snapshot (crash between rename and WAL truncation).
+      if (rec.seq > last_seq) c.apply_op(rec.payload);
+      next_seq = std::max(next_seq, rec.seq + 1);
+    }
+
+    Shard shard;
+    shard.wal = std::make_unique<WalWriter>(wal_path, wal_format(),
+                                            opts_.group_commit, next_seq,
+                                            replay.valid_bytes, opts_.fault);
+    {
+      std::lock_guard<std::mutex> lock(shards_mu_);
+      shards_.emplace(name, std::move(shard));
+    }
+    if (from_legacy_export) checkpoint_locked(c);
+  }
+
+  replaying_ = false;
+}
+
+StorageEngine::Shard& StorageEngine::shard_for(const std::string& name) {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  auto it = shards_.find(name);
+  if (it == shards_.end()) {
+    Shard shard;
+    shard.wal = std::make_unique<WalWriter>(
+        dir_ / (name + ".wal"), wal_format(), opts_.group_commit,
+        /*next_seq=*/1, /*existing_bytes=*/0, opts_.fault);
+    it = shards_.emplace(name, std::move(shard)).first;
+  }
+  return it->second;
+}
+
+void StorageEngine::log_op(Collection& c, const Json& op) {
+  if (replaying_) return;
+  shard_for(c.name()).wal->append(op);
+}
+
+void StorageEngine::maybe_checkpoint(Collection& c) {
+  if (replaying_) return;
+  if (shard_for(c.name()).wal->bytes() >= opts_.checkpoint_wal_bytes)
+    checkpoint_locked(c);
+}
+
+void StorageEngine::checkpoint(Collection& c) {
+  std::unique_lock lock(*c.mu_);
+  checkpoint_locked(c);
+}
+
+void StorageEngine::checkpoint_locked(Collection& c) {
+  Shard& shard = shard_for(c.name());
+  const std::uint64_t last_seq = shard.wal->next_seq() - 1;
+  write_snapshot(dir_ / (c.name() + ".snapshot"), c.to_json(), last_seq,
+                 opts_.fault);
+  // The snapshot now covers every logged record: compact the WAL away.
+  shard.wal->reset();
+}
+
+void StorageEngine::sync() {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (auto& [name, shard] : shards_) {
+    (void)name;
+    shard.wal->sync();
+  }
+}
+
+std::uint64_t StorageEngine::wal_bytes(const std::string& collection) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  const auto it = shards_.find(collection);
+  return it == shards_.end() ? 0 : it->second.wal->bytes();
+}
+
+}  // namespace gptc::db::engine

@@ -1,0 +1,106 @@
+// StorageEngine — the durability subsystem under DocumentStore.
+//
+// One engine owns one directory; each collection gets a shard with its own
+// write-ahead log (`<name>.wal`) and snapshot (`<name>.snapshot`). The
+// existing Collection/DocumentStore API sits unchanged on top: every
+// insert/update/remove appends an operation frame to the WAL *before*
+// mutating memory (write-ahead), and once a shard's WAL outgrows
+// `checkpoint_wal_bytes` the collection is checkpointed — an atomic
+// snapshot write followed by WAL truncation (compaction). Opening a
+// directory replays snapshot + WAL tail, tolerating a torn final record.
+//
+// WAL operation payloads (compact JSONL, see wal.hpp for framing):
+//
+//   {"o":"i","d":{...doc with _id...}}       insert
+//   {"o":"u","q":{...},"u":{...}}            update(query, fields)
+//   {"o":"r","q":{...}}                      remove(query)
+//
+// Update/remove are logged as their (deterministic) queries, so replaying
+// the log reproduces the exact committed state bit for bit.
+//
+// Concurrency: engine entry points that touch a shard are only ever called
+// under the owning Collection's writer lock (log_op / maybe_checkpoint from
+// inside Collection mutators, checkpoint taking the lock itself), so shard
+// state needs no further synchronization; the shard map itself is guarded
+// for concurrent first-touch of different collections.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "db/engine/fault.hpp"
+#include "db/engine/siphash.hpp"
+#include "db/engine/wal.hpp"
+#include "json/json.hpp"
+
+namespace gptc::db {
+class Collection;
+class DocumentStore;
+}  // namespace gptc::db
+
+namespace gptc::db::engine {
+
+struct EngineOptions {
+  /// fsync once per this many WAL appends (group commit); 1 = every append.
+  std::size_t group_commit = 16;
+  /// Checkpoint (snapshot + WAL truncation) when a shard's WAL exceeds this.
+  std::uint64_t checkpoint_wal_bytes = 1u << 20;
+  /// Keyed SipHash WAL checksums instead of CRC32 (see wal.hpp).
+  std::optional<SipHashKey> wal_checksum_key;
+  /// Test hook; not owned, may be nullptr.
+  FaultInjector* fault = nullptr;
+};
+
+class StorageEngine {
+ public:
+  StorageEngine(std::filesystem::path dir, EngineOptions opts);
+
+  const std::filesystem::path& dir() const { return dir_; }
+  const EngineOptions& options() const { return opts_; }
+
+  /// Rebuilds every collection found in the directory (snapshot, WAL, or a
+  /// legacy `<name>.json` export used as a one-time migration source) into
+  /// `store`, attaching the engine to each. Called once by
+  /// DocumentStore::open_durable before the store is visible to anyone.
+  void recover(DocumentStore& store);
+
+  /// Appends one op frame for `c`'s shard. Called by Collection mutators
+  /// under their writer lock, before the op is applied in memory. No-op
+  /// while replaying.
+  void log_op(Collection& c, const json::Json& op);
+
+  /// Checkpoints `c` if its WAL crossed the threshold. Called by Collection
+  /// mutators under their writer lock, after the op is applied.
+  void maybe_checkpoint(Collection& c);
+
+  /// Forces a checkpoint of `c` (takes `c`'s writer lock itself).
+  void checkpoint(Collection& c);
+
+  /// fsyncs all shards' pending group-commit batches.
+  void sync();
+
+  /// Current WAL size of one shard (0 if the collection has no shard yet).
+  std::uint64_t wal_bytes(const std::string& collection) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<WalWriter> wal;
+  };
+
+  WalFormat wal_format() const { return WalFormat{opts_.wal_checksum_key}; }
+  Shard& shard_for(const std::string& name);
+  void checkpoint_locked(Collection& c);
+
+  std::filesystem::path dir_;
+  EngineOptions opts_;
+  bool replaying_ = false;
+  mutable std::mutex shards_mu_;  // guards the map shape only
+  std::map<std::string, Shard> shards_;
+};
+
+}  // namespace gptc::db::engine

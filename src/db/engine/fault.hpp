@@ -1,0 +1,67 @@
+// Deterministic fault injection for the storage engine.
+//
+// Tests arm an injector on the Nth occurrence of a fault point; the engine
+// consults it at each durability-critical step and simulates a crash by
+// throwing CrashInjected (for WalShortWrite after first writing half the
+// frame, modelling a torn record). Because the "crash" is an exception in a
+// live process, disk state is exactly what a real kill at that instant
+// would leave behind, and tests can then reopen the directory and assert
+// the recovery invariants (tests/test_engine.cpp).
+//
+// The injector counts occurrences even when unarmed, so a test can run the
+// workload once with a passive injector to enumerate every fault point,
+// then replay it once per point with the trigger armed.
+//
+// Not thread-safe: crash-recovery tests drive a single-writer workload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+
+namespace gptc::db::engine {
+
+enum class FaultPoint {
+  WalAppend,             // fail before any byte of the Nth WAL append
+  WalShortWrite,         // write half of the Nth WAL frame, then crash
+  SnapshotBeforeRename,  // crash after <name>.snapshot.tmp is synced
+  SnapshotAfterRename,   // crash after the rename, before WAL truncation
+};
+
+/// Thrown by the engine when an armed fault fires; tests catch it where a
+/// real deployment would have lost the process.
+class CrashInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+ public:
+  /// Arms the injector: the `nth` (1-based) occurrence of `point` fires.
+  void arm(FaultPoint point, std::uint64_t nth) {
+    armed_point_ = point;
+    armed_nth_ = nth;
+  }
+
+  void disarm() { armed_nth_ = 0; }
+
+  /// Occurrences of `point` seen so far (armed or not).
+  std::uint64_t count(FaultPoint point) const {
+    const auto it = counts_.find(point);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Engine-side: records one occurrence and reports whether the armed
+  /// trigger fired. The caller decides how to crash (throw, short-write).
+  bool fire(FaultPoint point) {
+    const std::uint64_t n = ++counts_[point];
+    return armed_nth_ != 0 && armed_point_ == point && n == armed_nth_;
+  }
+
+ private:
+  std::map<FaultPoint, std::uint64_t> counts_;
+  FaultPoint armed_point_ = FaultPoint::WalAppend;
+  std::uint64_t armed_nth_ = 0;  // 0 = disarmed
+};
+
+}  // namespace gptc::db::engine

@@ -1,0 +1,189 @@
+#include "db/engine/index.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "db/document_store.hpp"
+
+namespace gptc::db::engine {
+
+using json::Json;
+
+std::optional<IndexKey> IndexKey::from_json(const Json& v) {
+  IndexKey key;
+  switch (v.type()) {
+    case Json::Type::Null:
+      key.rank = Rank::Null;
+      return key;
+    case Json::Type::Bool:
+      key.rank = Rank::Bool;
+      key.boolean = v.as_bool();
+      return key;
+    case Json::Type::Int:
+    case Json::Type::Double:
+      key.rank = Rank::Number;
+      key.number = v.as_double();
+      return key;
+    case Json::Type::String:
+      key.rank = Rank::String;
+      key.string = v.as_string();
+      return key;
+    case Json::Type::Array:
+    case Json::Type::Object:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool IndexKey::operator<(const IndexKey& other) const {
+  if (rank != other.rank) return rank < other.rank;
+  switch (rank) {
+    case Rank::Null: return false;
+    case Rank::Bool: return !boolean && other.boolean;
+    case Rank::Number: return number < other.number;
+    case Rank::String: return string < other.string;
+  }
+  return false;
+}
+
+namespace {
+
+IndexKey rank_min(IndexKey::Rank rank) {
+  IndexKey key;
+  key.rank = rank;
+  key.boolean = false;
+  key.number = -std::numeric_limits<double>::infinity();
+  key.string.clear();
+  return key;
+}
+
+bool is_operator_object(const Json& j) {
+  if (!j.is_object() || j.as_object().empty()) return false;
+  for (const auto& [k, v] : j.as_object()) {
+    (void)v;
+    if (k.empty() || k[0] != '$') return false;
+  }
+  return true;
+}
+
+bool is_scalar(const Json& j) { return !j.is_array() && !j.is_object(); }
+
+}  // namespace
+
+void OrderedIndex::add(const Json& doc, std::int64_t id) {
+  const Json* value = lookup_path(doc, path_);
+  if (!value) return;
+  const auto key = IndexKey::from_json(*value);
+  if (!key) return;  // arrays/objects are not indexed (cannot match scalars)
+  auto& ids = postings_[*key];
+  ids.insert(std::upper_bound(ids.begin(), ids.end(), id), id);
+}
+
+void OrderedIndex::erase(const Json& doc, std::int64_t id) {
+  const Json* value = lookup_path(doc, path_);
+  if (!value) return;
+  const auto key = IndexKey::from_json(*value);
+  if (!key) return;
+  const auto it = postings_.find(*key);
+  if (it == postings_.end()) return;
+  std::erase(it->second, id);
+  if (it->second.empty()) postings_.erase(it);
+}
+
+void OrderedIndex::collect_equal(const IndexKey& key,
+                                 std::vector<std::int64_t>& out) const {
+  const auto it = postings_.find(key);
+  if (it == postings_.end()) return;
+  out.insert(out.end(), it->second.begin(), it->second.end());
+}
+
+void OrderedIndex::collect_range(IndexKey::Rank rank, const IndexKey* lo,
+                                 bool lo_open, const IndexKey* hi,
+                                 bool hi_open,
+                                 std::vector<std::int64_t>& out) const {
+  auto it = lo ? (lo_open ? postings_.upper_bound(*lo)
+                          : postings_.lower_bound(*lo))
+               : postings_.lower_bound(rank_min(rank));
+  for (; it != postings_.end(); ++it) {
+    const IndexKey& key = it->first;
+    if (key.rank != rank) break;
+    if (hi && (hi_open ? !(key < *hi) : *hi < key)) break;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+}
+
+std::optional<std::vector<std::int64_t>> OrderedIndex::candidates(
+    const Json& condition) const {
+  std::vector<std::int64_t> out;
+
+  if (!is_operator_object(condition)) {
+    if (!is_scalar(condition)) return std::nullopt;
+    const auto key = IndexKey::from_json(condition);
+    if (!key) return std::nullopt;
+    collect_equal(*key, out);
+    return out;
+  }
+
+  const auto& ops = condition.as_object();
+  // `$exists: false` can match documents missing from the index entirely —
+  // the planner must not narrow such a condition.
+  const auto exists_it = ops.find("$exists");
+  if (exists_it != ops.end() && exists_it->second.is_bool() &&
+      !exists_it->second.as_bool())
+    return std::nullopt;
+
+  // All operators in one condition are conjunctive, so serving any single
+  // one of them yields a superset of the true matches; the first usable op
+  // (deterministic: Json::Object is a sorted map) wins.
+  for (const auto& [op, operand] : ops) {
+    if (op == "$eq") {
+      if (!is_scalar(operand)) continue;
+      const auto key = IndexKey::from_json(operand);
+      if (!key) continue;
+      collect_equal(*key, out);
+      return out;
+    }
+    if (op == "$in") {
+      if (!operand.is_array()) continue;
+      bool usable = true;
+      for (const auto& item : operand.as_array())
+        if (!is_scalar(item)) {
+          usable = false;
+          break;
+        }
+      if (!usable) continue;
+      for (const auto& item : operand.as_array()) {
+        const auto key = IndexKey::from_json(item);
+        if (key) collect_equal(*key, out);
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+    if (op == "$gt" || op == "$gte" || op == "$lt" || op == "$lte") {
+      // Range operators only ever match same-class values (the match
+      // engine's compare_lt is false across types), and only number/string
+      // operands have straightforward semantics — anything else falls back.
+      if (!operand.is_number() && !operand.is_string()) continue;
+      const auto bound = IndexKey::from_json(operand);
+      if (!bound) continue;
+      if (op == "$gt")
+        collect_range(bound->rank, &*bound, /*lo_open=*/true, nullptr, false,
+                      out);
+      else if (op == "$gte")
+        collect_range(bound->rank, &*bound, /*lo_open=*/false, nullptr, false,
+                      out);
+      else if (op == "$lt")
+        collect_range(bound->rank, nullptr, false, &*bound, /*hi_open=*/true,
+                      out);
+      else
+        collect_range(bound->rank, nullptr, false, &*bound, /*hi_open=*/false,
+                      out);
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+    // $ne, $nin, $exists:true, ... — not index-servable, try the next op.
+  }
+  return std::nullopt;
+}
+
+}  // namespace gptc::db::engine

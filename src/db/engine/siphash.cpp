@@ -1,0 +1,94 @@
+#include "db/engine/siphash.hpp"
+
+namespace gptc::db::engine {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+inline std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t splitmix64_step(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipHashKey& key, std::string_view data) {
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ key.k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ key.k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ key.k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ key.k1;
+
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t len = data.size();
+  const std::size_t tail = len & 7u;
+  const unsigned char* end = p + (len - tail);
+
+  for (; p != end; p += 8) {
+    const std::uint64_t m = load_le64(p);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t b = static_cast<std::uint64_t>(len) << 56;
+  for (std::size_t i = 0; i < tail; ++i)
+    b |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+
+  v3 ^= b;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xFFu;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+SipHashKey siphash_key_from_salt(std::string_view salt) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : salt) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  SipHashKey key;
+  key.k0 = splitmix64_step(h);
+  key.k1 = splitmix64_step(key.k0 ^ 0x9e3779b97f4a7c15ULL);
+  return key;
+}
+
+}  // namespace gptc::db::engine

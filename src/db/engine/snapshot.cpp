@@ -1,0 +1,98 @@
+#include "db/engine/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "db/engine/checksum.hpp"
+
+namespace gptc::db::engine {
+
+using json::Json;
+
+namespace {
+
+void sync_parent_dir(const std::filesystem::path& path) {
+  const std::filesystem::path dir = path.parent_path();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // directory sync is best-effort on exotic filesystems
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::optional<Snapshot> read_snapshot(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  if (text.size() < 8 + 1 + 1 || text[8] != ' ') return std::nullopt;
+  const std::string_view checksum(text.data(), 8);
+  const std::string_view payload(text.data() + 9, text.size() - 9);
+  if (hex32(crc32(payload)) != checksum) return std::nullopt;
+  try {
+    const Json j = Json::parse(payload);
+    if (j.get_or("format", Json(0)).as_int() != 1) return std::nullopt;
+    Snapshot snap;
+    snap.collection_state = j.at("collection");
+    snap.last_seq =
+        static_cast<std::uint64_t>(j.at("last_seq").as_int());
+    return snap;
+  } catch (const json::JsonError&) {
+    return std::nullopt;
+  }
+}
+
+void write_snapshot(const std::filesystem::path& path,
+                    const Json& collection_state, std::uint64_t last_seq,
+                    FaultInjector* fault) {
+  Json j = Json::object();
+  j["format"] = 1;
+  j["last_seq"] = static_cast<std::int64_t>(last_seq);
+  j["collection"] = collection_state;
+  const std::string payload = j.dump();
+  const std::string content = hex32(crc32(payload)) + " " + payload + "\n";
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+      throw std::runtime_error("snapshot: cannot open " + tmp.string() +
+                               ": " + std::strerror(errno));
+    std::size_t off = 0;
+    while (off < content.size()) {
+      const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw std::runtime_error("snapshot: write failed for " + tmp.string() +
+                                 ": " + std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+  }
+
+  if (fault && fault->fire(FaultPoint::SnapshotBeforeRename))
+    throw CrashInjected("injected crash before snapshot rename: " +
+                        path.string());
+
+  std::filesystem::rename(tmp, path);
+  sync_parent_dir(path);
+
+  if (fault && fault->fire(FaultPoint::SnapshotAfterRename))
+    throw CrashInjected("injected crash after snapshot rename: " +
+                        path.string());
+}
+
+}  // namespace gptc::db::engine

@@ -1,0 +1,168 @@
+#include "db/engine/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "db/engine/checksum.hpp"
+
+namespace gptc::db::engine {
+
+namespace {
+
+std::string frame_checksum(const WalFormat& fmt, std::string_view body) {
+  if (fmt.checksum_key) return hex64(siphash24(*fmt.checksum_key, body));
+  return hex32(crc32(body));
+}
+
+void write_all(int fd, const char* data, std::size_t len,
+               const std::filesystem::path& path) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("wal: write failed for " + path.string() +
+                               ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+WalReplay replay_wal(const std::filesystem::path& path, const WalFormat& fmt) {
+  WalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // no log yet
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::size_t checksum_width = fmt.checksum_key ? 16 : 8;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      out.torn_tail = true;  // short-written final frame
+      break;
+    }
+    const std::string_view line(text.data() + pos, nl - pos);
+    // "<seq:16> <checksum> <payload>" — minimum length check first.
+    if (line.size() < 16 + 1 + checksum_width + 1 + 1 || line[16] != ' ' ||
+        line[16 + 1 + checksum_width] != ' ') {
+      out.torn_tail = true;
+      break;
+    }
+    const std::string_view seq_hex = line.substr(0, 16);
+    const std::string_view checksum = line.substr(17, checksum_width);
+    const std::string_view payload = line.substr(16 + 1 + checksum_width + 1);
+    const auto seq = parse_hex64(seq_hex);
+    if (!seq) {
+      out.torn_tail = true;
+      break;
+    }
+    std::string body;
+    body.reserve(seq_hex.size() + 1 + payload.size());
+    body.append(seq_hex).append(" ").append(payload);
+    if (frame_checksum(fmt, body) != checksum) {
+      out.torn_tail = true;
+      break;
+    }
+    WalRecord rec;
+    rec.seq = *seq;
+    try {
+      rec.payload = json::Json::parse(payload);
+    } catch (const json::JsonError&) {
+      out.torn_tail = true;
+      break;
+    }
+    out.records.push_back(std::move(rec));
+    pos = nl + 1;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+WalWriter::WalWriter(std::filesystem::path path, WalFormat fmt,
+                     std::size_t group_commit, std::uint64_t next_seq,
+                     std::uint64_t existing_bytes, FaultInjector* fault)
+    : path_(std::move(path)),
+      fmt_(fmt),
+      group_commit_(group_commit == 0 ? 1 : group_commit),
+      next_seq_(next_seq),
+      bytes_(existing_bytes),
+      fault_(fault) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("wal: cannot open " + path_.string() + ": " +
+                             std::strerror(errno));
+  // Drop any torn tail left by a crash so new frames start on a boundary.
+  if (::ftruncate(fd_, static_cast<off_t>(existing_bytes)) != 0)
+    throw std::runtime_error("wal: cannot truncate " + path_.string() + ": " +
+                             std::strerror(errno));
+  if (::lseek(fd_, static_cast<off_t>(existing_bytes), SEEK_SET) < 0)
+    throw std::runtime_error("wal: cannot seek " + path_.string() + ": " +
+                             std::strerror(errno));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+std::uint64_t WalWriter::append(const json::Json& payload) {
+  const std::uint64_t seq = next_seq_;
+  const std::string seq_hex = hex64(seq);
+  const std::string body = seq_hex + " " + payload.dump();
+  const std::string frame =
+      seq_hex + " " + frame_checksum(fmt_, body) + " " + payload.dump() + "\n";
+
+  if (fault_ && fault_->fire(FaultPoint::WalAppend))
+    throw CrashInjected("injected crash before WAL append (seq " + seq_hex +
+                        ")");
+  if (fault_ && fault_->fire(FaultPoint::WalShortWrite)) {
+    // Torn record: half the frame reaches the disk, then the process dies.
+    write_all(fd_, frame.data(), frame.size() / 2, path_);
+    ::fsync(fd_);
+    throw CrashInjected("injected crash mid WAL append (seq " + seq_hex +
+                        ")");
+  }
+
+  write_all(fd_, frame.data(), frame.size(), path_);
+  bytes_ += frame.size();
+  ++next_seq_;
+  if (++pending_ >= group_commit_) sync();
+  return seq;
+}
+
+void WalWriter::sync() {
+  if (pending_ == 0) return;
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error("wal: fsync failed for " + path_.string() +
+                             ": " + std::strerror(errno));
+  pending_ = 0;
+}
+
+void WalWriter::reset() {
+  if (::ftruncate(fd_, 0) != 0)
+    throw std::runtime_error("wal: cannot truncate " + path_.string() + ": " +
+                             std::strerror(errno));
+  if (::lseek(fd_, 0, SEEK_SET) < 0)
+    throw std::runtime_error("wal: cannot seek " + path_.string() + ": " +
+                             std::strerror(errno));
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error("wal: fsync failed for " + path_.string() +
+                             ": " + std::strerror(errno));
+  bytes_ = 0;
+  pending_ = 0;
+}
+
+}  // namespace gptc::db::engine

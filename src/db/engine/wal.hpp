@@ -1,0 +1,92 @@
+// Write-ahead log: CRC32-framed, sequence-numbered JSONL.
+//
+// On-disk format — one frame per line:
+//
+//   <seq:16 hex> <checksum:8|16 hex> <payload: compact JSON>\n
+//
+// The checksum covers "<seq hex> <payload>". It is CRC32 (8 hex digits) by
+// default, or keyed SipHash-2-4 (16 hex digits) when the engine is opened
+// with a WAL checksum key — the width self-describes the algorithm, but the
+// reader still verifies against the format it was given, so a store opened
+// with the wrong key refuses the log instead of replaying it.
+//
+// Appends are fsync-batched (group commit): every frame is written to the
+// fd immediately, and fsync runs once per `group_commit` appends (1 =
+// sync-every-append) plus on sync()/close. Replay tolerates a torn final
+// record — a trailing frame with a short line, bad hex, failed checksum or
+// unparseable payload ends the replay at the previous frame boundary and
+// reports the byte offset so recovery can truncate the tail before
+// appending again.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/engine/fault.hpp"
+#include "db/engine/siphash.hpp"
+#include "json/json.hpp"
+
+namespace gptc::db::engine {
+
+/// Frame checksum configuration — shared by writer and replay.
+struct WalFormat {
+  /// When set, frames carry keyed SipHash-2-4 checksums instead of CRC32.
+  std::optional<SipHashKey> checksum_key;
+};
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  json::Json payload;
+};
+
+struct WalReplay {
+  std::vector<WalRecord> records;
+  std::uint64_t valid_bytes = 0;  // offset just past the last good frame
+  bool torn_tail = false;         // trailing garbage/torn record was skipped
+};
+
+/// Reads every valid frame of `path` (missing file -> empty replay).
+WalReplay replay_wal(const std::filesystem::path& path, const WalFormat& fmt);
+
+class WalWriter {
+ public:
+  /// Opens (creating) the log for appending. `existing_bytes` is the
+  /// already-valid prefix length from replay; the file is truncated to it
+  /// first so a torn tail from a previous crash never precedes new frames.
+  WalWriter(std::filesystem::path path, WalFormat fmt,
+            std::size_t group_commit, std::uint64_t next_seq,
+            std::uint64_t existing_bytes, FaultInjector* fault);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one frame; returns its sequence number. Throws CrashInjected
+  /// at an armed fault point and std::runtime_error on real I/O failure.
+  std::uint64_t append(const json::Json& payload);
+
+  /// Forces any pending (unsynced) frames to disk.
+  void sync();
+
+  /// Discards the whole log (post-snapshot compaction): truncates the file
+  /// to zero. Sequence numbers keep increasing across the truncation.
+  void reset();
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::filesystem::path path_;
+  WalFormat fmt_;
+  std::size_t group_commit_;
+  std::uint64_t next_seq_;
+  std::uint64_t bytes_ = 0;
+  std::size_t pending_ = 0;
+  int fd_ = -1;
+  FaultInjector* fault_;  // not owned; may be nullptr
+};
+
+}  // namespace gptc::db::engine

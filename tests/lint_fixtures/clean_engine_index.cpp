@@ -1,0 +1,52 @@
+// Fixture: clean file mirroring the storage-engine index idiom
+// (src/db/engine/index.hpp). Ordered std::map iteration — postings walks,
+// lower_bound range scans, and shard-map sweeps — is deterministic by
+// construction and must NOT trip R2, which only concerns unordered
+// containers. Mentions of std::unordered_map in comments are fine too.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+struct Key {
+  int rank = 0;
+  double num = 0.0;
+  bool operator<(const Key& o) const {
+    return rank != o.rank ? rank < o.rank : num < o.num;
+  }
+};
+
+// Full-postings walk: std::map iterates in key order, so the collected id
+// list is the same on every run (unlike an std::unordered_map walk).
+std::vector<std::int64_t> all_ids(
+    const std::map<Key, std::vector<std::int64_t>>& postings) {
+  std::vector<std::int64_t> ids;
+  for (const auto& [key, bucket] : postings) {
+    (void)key;
+    ids.insert(ids.end(), bucket.begin(), bucket.end());
+  }
+  return ids;
+}
+
+// Bounded range scan, the planner's $gt/$lt path: iterator order is the
+// key order, deterministic regardless of insertion history.
+std::size_t count_in_range(
+    const std::map<Key, std::vector<std::int64_t>>& postings, const Key& lo,
+    const Key& hi) {
+  std::size_t n = 0;
+  for (auto it = postings.lower_bound(lo);
+       it != postings.end() && it->first < hi; ++it) {
+    n += it->second.size();
+  }
+  return n;
+}
+
+// Shard-map sweep, the engine's sync() shape.
+std::vector<std::string> shard_names(
+    const std::map<std::string, std::uint64_t>& wal_bytes) {
+  std::vector<std::string> names;
+  for (const auto& [name, bytes] : wal_bytes) {
+    if (bytes > 0) names.push_back(name);
+  }
+  return names;
+}

@@ -445,5 +445,126 @@ TEST_F(RepoTest, QueryRequiresValidKey) {
   EXPECT_THROW(repo_.query_function_evaluations(m), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Durable mode (src/db/engine storage engine)
+
+/// Scratch repo directory removed on scope exit.
+struct RepoDir {
+  std::filesystem::path path;
+  explicit RepoDir(const char* name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path);
+  }
+  ~RepoDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(SharedRepoDurable, ReopenRecoversUsersKeysAndRecords) {
+  RepoDir dir("gptc_repo_durable");
+  std::string key;
+  {
+    SharedRepo repo = SharedRepo::open_durable(dir.path);
+    key = repo.register_user("alice", "alice@lab.gov");
+    EvalUpload e;
+    e.task_parameters = Json::parse(R"({"m":10000,"n":10000})");
+    e.tuning_parameters = Json::parse(R"({"mb":4})");
+    e.output = 1.5;
+    repo.upload(key, "pdgeqrf", e);
+    repo.sync();
+  }
+  // On-disk state is WAL/snapshot, not the diffable export.
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "api_keys.wal") ||
+              std::filesystem::exists(dir.path / "api_keys.snapshot"));
+  SharedRepo repo = SharedRepo::open_durable(dir.path);
+  EXPECT_EQ(repo.num_users(), 1u);
+  EXPECT_EQ(repo.authenticate(key).value(), "alice");
+  EXPECT_EQ(repo.num_records("pdgeqrf"), 1u);
+  EXPECT_TRUE(repo.store().find_collection("func_eval")->has_index("problem"));
+}
+
+TEST(SharedRepoDurable, MigratesLegacySaveDirectory) {
+  RepoDir dir("gptc_repo_durable_migrate");
+  std::string key;
+  {
+    SharedRepo legacy(7);
+    key = legacy.register_user("alice", "alice@lab.gov");
+    EvalUpload e;
+    e.task_parameters = Json::parse(R"({"m":10000})");
+    e.tuning_parameters = Json::parse(R"({"mb":8})");
+    e.output = 2.0;
+    legacy.upload(key, "pdgeqrf", e);
+    legacy.save(dir.path);
+  }
+  SharedRepo repo = SharedRepo::open_durable(dir.path);
+  EXPECT_EQ(repo.authenticate(key).value(), "alice");
+  EXPECT_EQ(repo.num_records("pdgeqrf"), 1u);
+  // Migration checkpoints immediately: the engine owns the state now.
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "func_eval.snapshot"));
+}
+
+TEST(SharedRepoDurable, LegacyFnvHashedKeysStillAuthenticate) {
+  // A repo directory written by an older build stores
+  // key_hash = std::to_string(rng::hash_tag(key)) with no hash_version.
+  RepoDir dir("gptc_repo_legacy_hash");
+  const std::string old_key = "legacy-api-key-00001";
+  {
+    db::DocumentStore store;
+    Json user = Json::object();
+    user["username"] = "veteran";
+    user["email"] = "veteran@lab.gov";
+    store.collection("users").insert(std::move(user));
+    Json doc = Json::object();
+    doc["username"] = "veteran";
+    doc["key_hash"] = std::to_string(rng::hash_tag(old_key));
+    doc["revoked"] = false;
+    store.collection("api_keys").insert(std::move(doc));
+    store.export_json(dir.path);
+  }
+  SharedRepo repo = SharedRepo::open_durable(dir.path);
+  EXPECT_EQ(repo.authenticate(old_key).value(), "veteran");
+  // New keys issued alongside use the current salted format, and revoking
+  // the legacy key goes through the same versioned verification.
+  const std::string fresh = repo.issue_api_key("veteran");
+  EXPECT_EQ(repo.authenticate(fresh).value(), "veteran");
+  EXPECT_TRUE(repo.revoke_api_key(old_key));
+  EXPECT_FALSE(repo.authenticate(old_key).has_value());
+  EXPECT_EQ(repo.authenticate(fresh).value(), "veteran");
+}
+
+TEST_F(RepoTest, QueriesByteIdenticalWithIndexesOn) {
+  // Replay the same uploads into a second repo with the same seed, then
+  // declare the default indexes only on the copy: every query must return
+  // byte-identical results — the planner changes candidate discovery, not
+  // semantics or ordering.
+  SharedRepo indexed(7);
+  const std::string a2 = indexed.register_user("alice", "alice@lab.gov");
+  const std::string b2 = indexed.register_user("bob", "bob@uni.edu");
+  for (int i = 0; i < 12; ++i) {
+    const auto e = make_upload(1 + i % 8, 1.0 + i,
+                               i % 3 == 0 ? "Cori" : "Summit", "haswell",
+                               8 * (1 + i % 2));
+    repo_.upload(i % 2 == 0 ? alice_key_ : bob_key_, "pdgeqrf", e);
+    indexed.upload(i % 2 == 0 ? a2 : b2, "pdgeqrf", e);
+  }
+  indexed.declare_default_indexes();
+  indexed.declare_task_parameter_index("m");
+
+  MetaDescription m1 = base_meta(alice_key_);
+  MetaDescription m2 = base_meta(a2);
+  const auto r1 = repo_.query_function_evaluations(m1);
+  const auto r2 = indexed.query_function_evaluations(m2);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    EXPECT_EQ(r1[i].dump(), r2[i].dump());
+
+  const char* where =
+      "tuning_parameters.mb >= 3 AND "
+      "machine_configuration.machine_name = 'Cori'";
+  const auto w1 = repo_.query_where(alice_key_, "pdgeqrf", where);
+  const auto w2 = indexed.query_where(a2, "pdgeqrf", where);
+  ASSERT_EQ(w1.size(), w2.size());
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    EXPECT_EQ(w1[i].dump(), w2[i].dump());
+}
+
 }  // namespace
 }  // namespace gptc::crowd

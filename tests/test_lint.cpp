@@ -88,8 +88,23 @@ TEST(Lint, FixtureTreeYieldsExactlyOneFindingPerRule) {
         << r.output;
 }
 
+TEST(Lint, CleanEngineIndexFixturePasses) {
+  // Ordered std::map iteration — the storage-engine index idiom — is
+  // deterministic and must not be confused with R2's unordered targets.
+  const RunResult r = run(lint_cmd(fixture("clean_engine_index.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
 TEST(Lint, RepoSourcesAreClean) {
   const RunResult r = run(lint_cmd(GPTC_LINT_SRC_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Lint, EngineSourcesAreClean) {
+  // The storage engine is scanned on its own as well (the `lint_engine`
+  // ctest entry), so a regression there is named directly.
+  const RunResult r = run(lint_cmd(GPTC_LINT_ENGINE_DIR));
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 

@@ -6,12 +6,17 @@
 // analytics utilities, all against a repository directory.
 //
 // Usage:
-//   crowdctl <repo-dir> register <username> <email>
-//   crowdctl <repo-dir> upload <api-key> <problem> <records.json>
-//   crowdctl <repo-dir> query <api-key> <problem> [<where-clause>]
-//   crowdctl <repo-dir> stats <problem>
-//   crowdctl <repo-dir> variability <api-key> <problem>
-//   crowdctl <repo-dir> collections
+//   crowdctl [--durable] <repo-dir> register <username> <email>
+//   crowdctl [--durable] <repo-dir> upload <api-key> <problem> <records.json>
+//   crowdctl [--durable] <repo-dir> query <api-key> <problem> [<where-clause>]
+//   crowdctl [--durable] <repo-dir> stats <problem>
+//   crowdctl [--durable] <repo-dir> variability <api-key> <problem>
+//   crowdctl [--durable] <repo-dir> collections
+//
+// --durable opens the directory on the storage engine (WAL + snapshots,
+// src/db/engine) instead of the diffable JSON export: every mutation is
+// crash-safe the moment the command returns, and a directory written
+// without the flag is migrated in place on first use.
 //
 // The records.json file holds an array of objects:
 //   [{"task_parameters": {...}, "tuning_parameters": {...},
@@ -31,13 +36,15 @@ namespace {
 
 int usage() {
   std::cerr <<
-      "usage: crowdctl <repo-dir> <command> [args]\n"
+      "usage: crowdctl [--durable] <repo-dir> <command> [args]\n"
       "  register <username> <email>          create a user, print API key\n"
       "  upload <api-key> <problem> <file>    upload a JSON array of records\n"
       "  query <api-key> <problem> [where]    SQL-like query, print records\n"
       "  stats <problem>                      record counts\n"
       "  variability <api-key> <problem>      noise/outlier report\n"
-      "  collections                          list stored collections\n";
+      "  collections                          list stored collections\n"
+      "options:\n"
+      "  --durable    open on the WAL+snapshot storage engine (crash-safe)\n";
   return 2;
 }
 
@@ -50,16 +57,31 @@ Json load_json_file(const std::string& path) {
 }
 
 int run(int argc, char** argv) {
+  bool durable = false;
+  if (argc >= 2 && std::string(argv[1]) == "--durable") {
+    durable = true;
+    ++argv;
+    --argc;
+  }
   if (argc < 3) return usage();
   const std::string dir = argv[1];
   const std::string command = argv[2];
 
-  crowd::SharedRepo repo = crowd::SharedRepo::load(dir);
+  // Durable mode persists every mutation through the WAL as it happens;
+  // legacy mode mutates in memory and relies on the explicit save() below.
+  crowd::SharedRepo repo = durable ? crowd::SharedRepo::open_durable(dir)
+                                   : crowd::SharedRepo::load(dir);
+  const auto persist = [&] {
+    if (durable)
+      repo.sync();
+    else
+      repo.save(dir);
+  };
 
   if (command == "register") {
     if (argc != 5) return usage();
     const std::string key = repo.register_user(argv[3], argv[4]);
-    repo.save(dir);
+    persist();
     std::cout << "user '" << argv[3]
               << "' registered; API key (shown once): " << key << "\n";
     return 0;
@@ -85,7 +107,7 @@ int run(int argc, char** argv) {
       repo.upload(argv[3], argv[4], e);
       ++count;
     }
-    repo.save(dir);
+    persist();
     std::cout << "uploaded " << count << " record(s) to problem '" << argv[4]
               << "'\n";
     return 0;
