@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "db/document_store.hpp"
+#include "db/engine/fsutil.hpp"
 #include "db/engine/snapshot.hpp"
 
 namespace gptc::db::engine {
@@ -16,10 +17,14 @@ using json::Json;
 StorageEngine::StorageEngine(std::filesystem::path dir, EngineOptions opts)
     : dir_(std::move(dir)), opts_(std::move(opts)) {
   std::filesystem::create_directories(dir_);
+  // Make the engine directory's own entry durable, or a crash right after
+  // creation can take the whole directory (and its fsynced files) with it.
+  sync_parent_dir(dir_);
 }
 
 void StorageEngine::recover(DocumentStore& store) {
   replaying_ = true;
+  recovery_warnings_.clear();
 
   // Enumerate collections from their on-disk artifacts; std::set keeps the
   // recovery order deterministic regardless of directory iteration order.
@@ -65,6 +70,13 @@ void StorageEngine::recover(DocumentStore& store) {
     }
 
     const WalReplay replay = replay_wal(wal_path, wal_format());
+    if (replay.error)
+      throw std::runtime_error("engine: refusing to open " +
+                               wal_path.string() + ": " + *replay.error);
+    if (replay.torn_tail)
+      recovery_warnings_.push_back(
+          name + ": torn final WAL record dropped; log truncated to byte " +
+          std::to_string(replay.valid_bytes));
     std::uint64_t next_seq = last_seq + 1;
     for (const auto& rec : replay.records) {
       // Records at or below the snapshot's last_seq are already reflected
@@ -81,7 +93,15 @@ void StorageEngine::recover(DocumentStore& store) {
       std::lock_guard<std::mutex> lock(shards_mu_);
       shards_.emplace(name, std::move(shard));
     }
-    if (from_legacy_export) checkpoint_locked(c);
+    if (from_legacy_export) {
+      checkpoint_locked(c);
+      // The export is now absorbed into a snapshot; retire the source so a
+      // later recovery whose snapshot goes missing can never silently fall
+      // back to this stale state.
+      std::filesystem::rename(dir_ / (name + ".json"),
+                              dir_ / (name + ".json.migrated"));
+      sync_parent_dir(dir_ / (name + ".json"));
+    }
   }
 
   replaying_ = false;

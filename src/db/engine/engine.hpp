@@ -18,11 +18,13 @@
 // Update/remove are logged as their (deterministic) queries, so replaying
 // the log reproduces the exact committed state bit for bit.
 //
-// Concurrency: engine entry points that touch a shard are only ever called
-// under the owning Collection's writer lock (log_op / maybe_checkpoint from
-// inside Collection mutators, checkpoint taking the lock itself), so shard
-// state needs no further synchronization; the shard map itself is guarded
-// for concurrent first-touch of different collections.
+// Concurrency: mutating entry points (log_op / maybe_checkpoint /
+// checkpoint) are serialized per collection by the owning Collection's
+// writer lock, but sync() and wal_bytes() may arrive from any thread (a
+// DocumentStore::sync() racing a writer on another collection's lock), so
+// each WalWriter additionally serializes its own state behind an internal
+// mutex; the shard map itself is guarded for concurrent first-touch of
+// different collections.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +34,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "db/engine/fault.hpp"
 #include "db/engine/siphash.hpp"
@@ -67,7 +70,18 @@ class StorageEngine {
   /// legacy `<name>.json` export used as a one-time migration source) into
   /// `store`, attaching the engine to each. Called once by
   /// DocumentStore::open_durable before the store is visible to anyone.
+  /// Throws std::runtime_error when an artifact is rejected rather than
+  /// merely torn: a snapshot that exists but fails its checksum/parse, or a
+  /// WAL with mid-log corruption / a wrong checksum key — refusing to open
+  /// beats silently discarding committed records.
   void recover(DocumentStore& store);
+
+  /// Non-fatal recovery notes from the last recover() call — one entry per
+  /// collection whose WAL ended in a torn final record (truncated back to
+  /// the last complete frame).
+  const std::vector<std::string>& recovery_warnings() const {
+    return recovery_warnings_;
+  }
 
   /// Appends one op frame for `c`'s shard. Called by Collection mutators
   /// under their writer lock, before the op is applied in memory. No-op
@@ -98,6 +112,7 @@ class StorageEngine {
 
   std::filesystem::path dir_;
   EngineOptions opts_;
+  std::vector<std::string> recovery_warnings_;
   bool replaying_ = false;
   mutable std::mutex shards_mu_;  // guards the map shape only
   std::map<std::string, Shard> shards_;

@@ -1,0 +1,16 @@
+#include "db/engine/fsutil.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace gptc::db::engine {
+
+void sync_parent_dir(const std::filesystem::path& path) {
+  const std::filesystem::path dir = path.parent_path();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // directory sync is best-effort on exotic filesystems
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace gptc::db::engine

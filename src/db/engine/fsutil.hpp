@@ -1,0 +1,14 @@
+// Filesystem durability helpers shared by the WAL and snapshot writers.
+#pragma once
+
+#include <filesystem>
+
+namespace gptc::db::engine {
+
+/// Best-effort fsync of `path`'s parent directory, making `path`'s own
+/// directory entry durable after a create or rename. Failures are ignored:
+/// some filesystems refuse to open or fsync directories, and losing the
+/// entry is then no worse than before the call.
+void sync_parent_dir(const std::filesystem::path& path);
+
+}  // namespace gptc::db::engine

@@ -157,6 +157,9 @@ std::optional<std::vector<std::int64_t>> OrderedIndex::candidates(
         if (key) collect_equal(*key, out);
       }
       std::sort(out.begin(), out.end());
+      // Duplicate operands ({"$in":[2,2.0]}) merge the same posting list
+      // twice; candidates must stay a set or find()/count() double-report.
+      out.erase(std::unique(out.begin(), out.end()), out.end());
       return out;
     }
     if (op == "$gt" || op == "$gte" || op == "$lt" || op == "$lte") {

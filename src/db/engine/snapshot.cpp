@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "db/engine/checksum.hpp"
+#include "db/engine/fsutil.hpp"
 
 namespace gptc::db::engine {
 
@@ -17,12 +18,10 @@ using json::Json;
 
 namespace {
 
-void sync_parent_dir(const std::filesystem::path& path) {
-  const std::filesystem::path dir = path.parent_path();
-  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
-  if (fd < 0) return;  // directory sync is best-effort on exotic filesystems
-  ::fsync(fd);
-  ::close(fd);
+[[noreturn]] void corrupt(const std::filesystem::path& path,
+                          const std::string& why) {
+  throw std::runtime_error("snapshot: refusing " + path.string() + ": " +
+                           why);
 }
 
 }  // namespace
@@ -33,21 +32,25 @@ std::optional<Snapshot> read_snapshot(const std::filesystem::path& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string text = buf.str();
+  // From here on the snapshot EXISTS: any validation failure is corruption
+  // and must refuse recovery, not fall back to an older (stale) source.
   if (!text.empty() && text.back() == '\n') text.pop_back();
-  if (text.size() < 8 + 1 + 1 || text[8] != ' ') return std::nullopt;
+  if (text.size() < 8 + 1 + 1 || text[8] != ' ')
+    corrupt(path, "malformed checksum framing");
   const std::string_view checksum(text.data(), 8);
   const std::string_view payload(text.data() + 9, text.size() - 9);
-  if (hex32(crc32(payload)) != checksum) return std::nullopt;
+  if (hex32(crc32(payload)) != checksum) corrupt(path, "checksum mismatch");
   try {
     const Json j = Json::parse(payload);
-    if (j.get_or("format", Json(0)).as_int() != 1) return std::nullopt;
+    if (j.get_or("format", Json(0)).as_int() != 1)
+      corrupt(path, "unknown format version");
     Snapshot snap;
     snap.collection_state = j.at("collection");
     snap.last_seq =
         static_cast<std::uint64_t>(j.at("last_seq").as_int());
     return snap;
-  } catch (const json::JsonError&) {
-    return std::nullopt;
+  } catch (const json::JsonError& e) {
+    corrupt(path, std::string("payload does not parse: ") + e.what());
   }
 }
 

@@ -28,8 +28,10 @@ struct Snapshot {
   std::uint64_t last_seq = 0;   // highest WAL seq the snapshot includes
 };
 
-/// nullopt if the file is missing, corrupt (checksum/parse failure), or an
-/// unknown format version — recovery then falls back to WAL-only replay.
+/// nullopt if the file is missing (recovery then falls back to WAL-only
+/// replay or a legacy export). A snapshot that EXISTS but fails its
+/// checksum, parse, or format check throws std::runtime_error instead:
+/// falling back to an older source would silently resurrect stale state.
 std::optional<Snapshot> read_snapshot(const std::filesystem::path& path);
 
 /// Atomically replaces `path` with the given state. Throws CrashInjected at

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "db/engine/checksum.hpp"
+#include "db/engine/fsutil.hpp"
 
 namespace gptc::db::engine {
 
@@ -18,6 +19,33 @@ namespace {
 std::string frame_checksum(const WalFormat& fmt, std::string_view body) {
   if (fmt.checksum_key) return hex64(siphash24(*fmt.checksum_key, body));
   return hex32(crc32(body));
+}
+
+/// Validates one complete line as a frame; nullopt on any mismatch.
+std::optional<WalRecord> parse_frame(const WalFormat& fmt,
+                                     std::string_view line) {
+  const std::size_t checksum_width = fmt.checksum_key ? 16 : 8;
+  // "<seq:16> <checksum> <payload>" — minimum length check first.
+  if (line.size() < 16 + 1 + checksum_width + 1 + 1 || line[16] != ' ' ||
+      line[16 + 1 + checksum_width] != ' ')
+    return std::nullopt;
+  const std::string_view seq_hex = line.substr(0, 16);
+  const std::string_view checksum = line.substr(17, checksum_width);
+  const std::string_view payload = line.substr(16 + 1 + checksum_width + 1);
+  const auto seq = parse_hex64(seq_hex);
+  if (!seq) return std::nullopt;
+  std::string body;
+  body.reserve(seq_hex.size() + 1 + payload.size());
+  body.append(seq_hex).append(" ").append(payload);
+  if (frame_checksum(fmt, body) != checksum) return std::nullopt;
+  WalRecord rec;
+  rec.seq = *seq;
+  try {
+    rec.payload = json::Json::parse(payload);
+  } catch (const json::JsonError&) {
+    return std::nullopt;
+  }
+  return rec;
 }
 
 void write_all(int fd, const char* data, std::size_t len,
@@ -44,47 +72,41 @@ WalReplay replay_wal(const std::filesystem::path& path, const WalFormat& fmt) {
   buf << in.rdbuf();
   const std::string text = buf.str();
 
-  const std::size_t checksum_width = fmt.checksum_key ? 16 : 8;
   std::size_t pos = 0;
   while (pos < text.size()) {
     const std::size_t nl = text.find('\n', pos);
+    if (nl != std::string::npos) {
+      if (auto rec =
+              parse_frame(fmt, std::string_view(text.data() + pos, nl - pos))) {
+        out.records.push_back(std::move(*rec));
+        pos = nl + 1;
+        out.valid_bytes = pos;
+        continue;
+      }
+    }
+    // Bad frame. A real crash can tear at most the FINAL record, so only
+    // classify the failure as a torn tail when it looks like one:
+    //  - an incomplete final line (the frame's own trailing '\n' never hit
+    //    the disk), or
+    //  - a complete final line failing after earlier frames validated under
+    //    this format (so the format/key is provably right and the last
+    //    sector was mangled by the crash).
+    // Everything else — more data after the bad frame, or a complete first
+    // line that fails — is mid-log corruption or a wrong checksum key: the
+    // log must be refused, never truncated.
     if (nl == std::string::npos) {
-      out.torn_tail = true;  // short-written final frame
-      break;
-    }
-    const std::string_view line(text.data() + pos, nl - pos);
-    // "<seq:16> <checksum> <payload>" — minimum length check first.
-    if (line.size() < 16 + 1 + checksum_width + 1 + 1 || line[16] != ' ' ||
-        line[16 + 1 + checksum_width] != ' ') {
       out.torn_tail = true;
-      break;
-    }
-    const std::string_view seq_hex = line.substr(0, 16);
-    const std::string_view checksum = line.substr(17, checksum_width);
-    const std::string_view payload = line.substr(16 + 1 + checksum_width + 1);
-    const auto seq = parse_hex64(seq_hex);
-    if (!seq) {
+    } else if (nl + 1 >= text.size() && !out.records.empty()) {
       out.torn_tail = true;
-      break;
+    } else {
+      out.error = "invalid frame at byte offset " + std::to_string(pos) +
+                  (nl + 1 >= text.size()
+                       ? " (first frame of a non-empty log failed "
+                         "validation: corrupt log or wrong checksum key)"
+                       : " with further data after it (mid-log corruption "
+                         "or wrong checksum key)");
     }
-    std::string body;
-    body.reserve(seq_hex.size() + 1 + payload.size());
-    body.append(seq_hex).append(" ").append(payload);
-    if (frame_checksum(fmt, body) != checksum) {
-      out.torn_tail = true;
-      break;
-    }
-    WalRecord rec;
-    rec.seq = *seq;
-    try {
-      rec.payload = json::Json::parse(payload);
-    } catch (const json::JsonError&) {
-      out.torn_tail = true;
-      break;
-    }
-    out.records.push_back(std::move(rec));
-    pos = nl + 1;
-    out.valid_bytes = pos;
+    break;
   }
   return out;
 }
@@ -98,10 +120,14 @@ WalWriter::WalWriter(std::filesystem::path path, WalFormat fmt,
       next_seq_(next_seq),
       bytes_(existing_bytes),
       fault_(fault) {
+  const bool existed = std::filesystem::exists(path_);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd_ < 0)
     throw std::runtime_error("wal: cannot open " + path_.string() + ": " +
                              std::strerror(errno));
+  // A freshly created log's directory entry must survive a crash too, or
+  // the first fsynced frames vanish with it.
+  if (!existed) sync_parent_dir(path_);
   // Drop any torn tail left by a crash so new frames start on a boundary.
   if (::ftruncate(fd_, static_cast<off_t>(existing_bytes)) != 0)
     throw std::runtime_error("wal: cannot truncate " + path_.string() + ": " +
@@ -119,6 +145,7 @@ WalWriter::~WalWriter() {
 }
 
 std::uint64_t WalWriter::append(const json::Json& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t seq = next_seq_;
   const std::string seq_hex = hex64(seq);
   const std::string body = seq_hex + " " + payload.dump();
@@ -139,11 +166,16 @@ std::uint64_t WalWriter::append(const json::Json& payload) {
   write_all(fd_, frame.data(), frame.size(), path_);
   bytes_ += frame.size();
   ++next_seq_;
-  if (++pending_ >= group_commit_) sync();
+  if (++pending_ >= group_commit_) sync_locked();
   return seq;
 }
 
 void WalWriter::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_locked();
+}
+
+void WalWriter::sync_locked() {
   if (pending_ == 0) return;
   if (::fsync(fd_) != 0)
     throw std::runtime_error("wal: fsync failed for " + path_.string() +
@@ -152,6 +184,7 @@ void WalWriter::sync() {
 }
 
 void WalWriter::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (::ftruncate(fd_, 0) != 0)
     throw std::runtime_error("wal: cannot truncate " + path_.string() + ": " +
                              std::strerror(errno));
@@ -163,6 +196,16 @@ void WalWriter::reset() {
                              ": " + std::strerror(errno));
   bytes_ = 0;
   pending_ = 0;
+}
+
+std::uint64_t WalWriter::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t WalWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 }  // namespace gptc::db::engine

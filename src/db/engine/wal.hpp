@@ -13,14 +13,23 @@
 // Appends are fsync-batched (group commit): every frame is written to the
 // fd immediately, and fsync runs once per `group_commit` appends (1 =
 // sync-every-append) plus on sync()/close. Replay tolerates a torn final
-// record — a trailing frame with a short line, bad hex, failed checksum or
-// unparseable payload ends the replay at the previous frame boundary and
-// reports the byte offset so recovery can truncate the tail before
-// appending again.
+// record — and ONLY a torn final record. A crash can tear at most the last
+// frame, so a bad frame is treated as a torn tail (replay ends at the
+// previous frame boundary, reporting the byte offset so recovery can
+// truncate before appending again) only when it is genuinely the end of
+// the log: either an incomplete final line, or a complete final line with
+// at least one earlier frame validating under the same format. Anything
+// else — a bad frame with further data after it, or a complete first line
+// that fails — cannot come from a torn write; it means mid-log corruption
+// or a wrong checksum key, and replay reports an error instead of
+// classifying it as torn, so committed records are never silently
+// discarded. WalWriter's append/sync/reset/bytes are internally
+// synchronized, so one thread may append while another syncs.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,7 +54,11 @@ struct WalRecord {
 struct WalReplay {
   std::vector<WalRecord> records;
   std::uint64_t valid_bytes = 0;  // offset just past the last good frame
-  bool torn_tail = false;         // trailing garbage/torn record was skipped
+  bool torn_tail = false;         // a torn final record was skipped
+  /// Set when the log is rejected (mid-log corruption or wrong checksum
+  /// key) rather than merely torn: `records` hold the valid prefix, but the
+  /// caller must refuse to open instead of truncating to it.
+  std::optional<std::string> error;
 };
 
 /// Reads every valid frame of `path` (missing file -> empty replay).
@@ -68,17 +81,20 @@ class WalWriter {
   /// at an armed fault point and std::runtime_error on real I/O failure.
   std::uint64_t append(const json::Json& payload);
 
-  /// Forces any pending (unsynced) frames to disk.
+  /// Forces any pending (unsynced) frames to disk. Safe to call while
+  /// another thread appends (each method takes the writer's own mutex).
   void sync();
 
   /// Discards the whole log (post-snapshot compaction): truncates the file
   /// to zero. Sequence numbers keep increasing across the truncation.
   void reset();
 
-  std::uint64_t next_seq() const { return next_seq_; }
-  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t next_seq() const;
+  std::uint64_t bytes() const;
 
  private:
+  void sync_locked();
+
   std::filesystem::path path_;
   WalFormat fmt_;
   std::size_t group_commit_;
@@ -87,6 +103,10 @@ class WalWriter {
   std::size_t pending_ = 0;
   int fd_ = -1;
   FaultInjector* fault_;  // not owned; may be nullptr
+  /// Serializes append/sync/reset and the counters they share: appends run
+  /// under per-collection locks, but sync()/bytes() arrive from
+  /// DocumentStore::sync()/wal_bytes() on other threads.
+  mutable std::mutex mu_;
 };
 
 }  // namespace gptc::db::engine

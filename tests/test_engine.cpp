@@ -144,7 +144,7 @@ TEST(Wal, TornFinalRecordIsTolerated) {
   EXPECT_EQ(again.records[1].payload.at("d").at("_id").as_int(), 3);
 }
 
-TEST(Wal, CorruptedChecksumStopsReplay) {
+TEST(Wal, CorruptedFinalRecordIsATornTail) {
   TempDir dir("gptc_engine_wal_crc");
   const fs::path path = dir.path() / "t.wal";
   const engine::WalFormat fmt;
@@ -153,7 +153,8 @@ TEST(Wal, CorruptedChecksumStopsReplay) {
     w.append(doc(R"({"o":"i","d":{"_id":1}})"));
     w.append(doc(R"({"o":"i","d":{"_id":2}})"));
   }
-  // Flip one payload byte of the second frame.
+  // Flip one payload byte of the second (final) frame: with an earlier
+  // frame validating, a bad last line is classified as crash-torn.
   std::ifstream in(path, std::ios::binary);
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -162,7 +163,35 @@ TEST(Wal, CorruptedChecksumStopsReplay) {
   std::ofstream(path, std::ios::binary) << text;
   const auto replay = engine::replay_wal(path, fmt);
   EXPECT_TRUE(replay.torn_tail);
+  EXPECT_FALSE(replay.error.has_value());
   EXPECT_EQ(replay.records.size(), 1u);
+}
+
+TEST(Wal, MidLogCorruptionIsRejectedNotTruncated) {
+  TempDir dir("gptc_engine_wal_midlog");
+  const fs::path path = dir.path() / "t.wal";
+  const engine::WalFormat fmt;
+  std::uint64_t first_two = 0;
+  {
+    engine::WalWriter w(path, fmt, 1, 1, 0, nullptr);
+    w.append(doc(R"({"o":"i","d":{"_id":1}})"));
+    w.append(doc(R"({"o":"i","d":{"_id":2}})"));
+    first_two = w.bytes();
+    w.append(doc(R"({"o":"i","d":{"_id":3}})"));
+  }
+  // Corrupt the SECOND frame: committed frames follow it, so this is not a
+  // torn tail — replay must report an error, never classify-and-truncate.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::size_t target = first_two - 3;
+  text[target] = text[target] == 'x' ? 'y' : 'x';
+  std::ofstream(path, std::ios::binary) << text;
+  const auto replay = engine::replay_wal(path, fmt);
+  ASSERT_TRUE(replay.error.has_value());
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.records.size(), 1u);  // valid prefix only
 }
 
 TEST(Wal, KeyedChecksumRejectsWrongKey) {
@@ -175,11 +204,16 @@ TEST(Wal, KeyedChecksumRejectsWrongKey) {
     w.append(doc(R"({"o":"i","d":{"_id":1}})"));
   }
   EXPECT_EQ(engine::replay_wal(path, keyed).records.size(), 1u);
+  EXPECT_FALSE(engine::replay_wal(path, keyed).error.has_value());
+  // The wrong key fails every complete frame — that is a rejected log, not
+  // a torn tail, so nothing may be truncated away.
   engine::WalFormat wrong;
   wrong.checksum_key = engine::SipHashKey{1, 3};
-  EXPECT_EQ(engine::replay_wal(path, wrong).records.size(), 0u);
+  const auto refused = engine::replay_wal(path, wrong);
+  EXPECT_EQ(refused.records.size(), 0u);
+  EXPECT_TRUE(refused.error.has_value());
   // An unkeyed reader sees a 16-digit checksum where it expects 8: refused.
-  EXPECT_EQ(engine::replay_wal(path, engine::WalFormat{}).records.size(), 0u);
+  EXPECT_TRUE(engine::replay_wal(path, engine::WalFormat{}).error.has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -203,7 +237,10 @@ TEST(Snapshot, RoundTripAndCorruptionDetection) {
   std::string text = buf.str();
   text[12] = text[12] == 'a' ? 'b' : 'a';
   std::ofstream(path, std::ios::binary) << text;
-  EXPECT_FALSE(engine::read_snapshot(path).has_value());
+  // An existing-but-corrupt snapshot is a hard error: silently falling back
+  // to an older source would resurrect stale state.
+  EXPECT_THROW(engine::read_snapshot(path), std::runtime_error);
+  EXPECT_FALSE(engine::read_snapshot(path.string() + ".gone").has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -280,6 +317,8 @@ TEST(SecondaryIndex, ResultsIdenticalToScan) {
            R"({"k":{"$gt":-10}})",
            R"({"k":{"$lte":2}})",
            R"({"k":{"$in":[1,100,null]}})",
+           R"({"k":{"$in":[2,2.0]}})",
+           R"({"k":{"$in":[1,1,100,1]}})",
            R"({"k":{"$in":[]}})",
            R"({"k":{"$ne":2}})",
            R"({"k":{"$exists":false}})",
@@ -387,12 +426,79 @@ TEST(DurableStore, MigratesLegacyJsonExportOnce) {
     auto store = DocumentStore::open_durable(dir.path(), test_options());
     EXPECT_EQ(store.collection("samples").size(), 2u);
     store.collection("samples").insert(doc(R"({"k":3})"));
-    // Migration snapshots immediately, so a stale export can never be
-    // mistaken for the base state again.
+    // Migration snapshots immediately and retires the export, so the stale
+    // file can never be mistaken for the base state again.
     EXPECT_TRUE(fs::exists(dir.path() / "samples.snapshot"));
+    EXPECT_FALSE(fs::exists(dir.path() / "samples.json"));
+    EXPECT_TRUE(fs::exists(dir.path() / "samples.json.migrated"));
   }
   auto store = DocumentStore::open_durable(dir.path(), test_options());
   EXPECT_EQ(store.collection("samples").size(), 3u);
+}
+
+TEST(DurableStore, CorruptSnapshotRefusesToOpen) {
+  TempDir dir("gptc_engine_snapcorrupt");
+  {
+    auto store = DocumentStore::open_durable(dir.path(), test_options());
+    store.collection("samples").insert(doc(R"({"k":1})"));
+    store.checkpoint_all();
+  }
+  const fs::path snap = dir.path() / "samples.snapshot";
+  std::ifstream in(snap, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  text[text.size() / 2] = text[text.size() / 2] == 'a' ? 'b' : 'a';
+  std::ofstream(snap, std::ios::binary) << text;
+  EXPECT_THROW(DocumentStore::open_durable(dir.path(), test_options()),
+               std::runtime_error);
+}
+
+TEST(DurableStore, MidLogWalCorruptionRefusesToOpen) {
+  TempDir dir("gptc_engine_walcorrupt");
+  {
+    auto store = DocumentStore::open_durable(
+        dir.path(), test_options(nullptr, /*group_commit=*/1));
+    store.collection("samples").insert(doc(R"({"k":1})"));
+    store.collection("samples").insert(doc(R"({"k":2})"));
+    store.collection("samples").insert(doc(R"({"k":3})"));
+  }
+  // Corrupt the first frame: committed frames follow, so recovery must
+  // refuse the directory rather than truncate them away.
+  const fs::path wal = dir.path() / "samples.wal";
+  std::ifstream in(wal, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::size_t target = text.find('\n') - 3;
+  text[target] = text[target] == 'x' ? 'y' : 'x';
+  std::ofstream(wal, std::ios::binary) << text;
+  EXPECT_THROW(DocumentStore::open_durable(dir.path(), test_options()),
+               std::runtime_error);
+}
+
+TEST(DurableStore, TornTailIsReportedAsRecoveryWarning) {
+  TempDir dir("gptc_engine_tornwarn");
+  {
+    FaultInjector fault;
+    fault.arm(FaultPoint::WalShortWrite, 3);
+    auto store = DocumentStore::open_durable(
+        dir.path(), test_options(&fault, /*group_commit=*/1));
+    try {
+      for (int k = 1; k <= 3; ++k) {
+        Json d = Json::object();
+        d["k"] = k;
+        store.collection("samples").insert(std::move(d));
+      }
+      FAIL() << "fault did not fire";
+    } catch (const CrashInjected&) {
+    }
+  }
+  auto store = DocumentStore::open_durable(dir.path(), test_options());
+  EXPECT_EQ(store.collection("samples").size(), 2u);
+  ASSERT_EQ(store.storage_engine()->recovery_warnings().size(), 1u);
+  EXPECT_NE(store.storage_engine()->recovery_warnings()[0].find("samples"),
+            std::string::npos);
 }
 
 TEST(DurableStore, ExportJsonStaysAvailableForInspection) {
@@ -416,14 +522,18 @@ TEST(DurableStore, KeyedWalChecksumRoundTrips) {
   }
   auto store = DocumentStore::open_durable(dir.path(), opts);
   EXPECT_EQ(store.collection("samples").size(), 1u);
-  // The wrong key refuses the log: recovery sees an empty committed state.
+  // The wrong key refuses the log outright: opening throws rather than
+  // truncating the (valid, just differently-keyed) records away.
   EngineOptions wrong = test_options();
   wrong.wal_checksum_key = engine::SipHashKey{1, 1};
   TempDir dir2("gptc_engine_keyed2");
   fs::copy(dir.path(), dir2.path(), fs::copy_options::overwrite_existing |
                                         fs::copy_options::recursive);
-  auto refused = DocumentStore::open_durable(dir2.path(), wrong);
-  EXPECT_EQ(refused.collection("samples").size(), 0u);
+  EXPECT_THROW(DocumentStore::open_durable(dir2.path(), wrong),
+               std::runtime_error);
+  // The refused log is untouched on disk: the right key still opens it.
+  auto again = DocumentStore::open_durable(dir2.path(), opts);
+  EXPECT_EQ(again.collection("samples").size(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -584,7 +694,7 @@ TEST(Concurrency, ManyReadersOneWriterOnDurableCollection) {
   std::atomic<std::size_t> reads{0};
 
   std::vector<std::thread> readers;
-  readers.reserve(3);
+  readers.reserve(4);
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&c, &done, &reads] {
       const Json q = doc(R"({"k":{"$gte":2}})");
@@ -595,6 +705,15 @@ TEST(Concurrency, ManyReadersOneWriterOnDurableCollection) {
       }
     });
   }
+  // Group-commit flushes and WAL-size polls race the writer through the
+  // WalWriter's internal mutex — a store-level sync must never tear an
+  // in-flight append (TSan-checked in the sanitizer CI job).
+  readers.emplace_back([&store, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      store.sync();
+      (void)store.storage_engine()->wal_bytes("samples");
+    }
+  });
   for (int i = 0; i < kDocs; ++i) {
     Json d = Json::object();
     d["k"] = i % 5;
