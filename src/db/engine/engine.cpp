@@ -81,7 +81,27 @@ void StorageEngine::recover(DocumentStore& store) {
     for (const auto& rec : replay.records) {
       // Records at or below the snapshot's last_seq are already reflected
       // in the snapshot (crash between rename and WAL truncation).
-      if (rec.seq > last_seq) c.apply_op(rec.payload);
+      if (rec.seq > last_seq) {
+        try {
+          c.apply_op(rec.payload);
+        } catch (const std::exception& e) {
+          // A record that passed the CRC but fails to apply is a logic bug
+          // or hand-edited log; surface it as this engine's refusal, with
+          // the collection and sequence number, not as a bare propagated
+          // error from three layers down.
+          throw std::runtime_error("engine: refusing to open " +
+                                   wal_path.string() + ": record seq " +
+                                   std::to_string(rec.seq) +
+                                   " failed to apply to collection '" + name +
+                                   "': " + e.what());
+        } catch (...) {
+          throw std::runtime_error("engine: refusing to open " +
+                                   wal_path.string() + ": record seq " +
+                                   std::to_string(rec.seq) +
+                                   " failed to apply to collection '" + name +
+                                   "'");
+        }
+      }
       next_seq = std::max(next_seq, rec.seq + 1);
     }
 

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
 
 namespace gptc::parallel {
@@ -34,7 +35,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop() noexcept {
   tls_on_worker = true;
   for (;;) {
     std::function<void()> task;
@@ -45,7 +46,16 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Tasks own their error handling (parallel_for captures exceptions into
+    // its State); anything escaping here would unwind through a noexcept
+    // frame anyway, so name the contract violation before dying.
+    try {
+      task();
+    } catch (...) {
+      std::fputs("gptc: fatal: exception escaped a thread-pool task\n",
+                 stderr);
+      std::terminate();
+    }
   }
 }
 

@@ -66,7 +66,7 @@ class ThreadPool {
   void enqueue(std::function<void()> task);
 
  private:
-  void worker_loop();
+  void worker_loop() noexcept;
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -37,7 +37,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = max() - max() % span;
-  std::uint64_t v;
+  std::uint64_t v = 0;
   do {
     v = (*this)();
   } while (v >= limit);

@@ -1,0 +1,14 @@
+// Fixture: R6 cross-tu-unordered. This TU declares no unordered container
+// itself, so per-file R2 has nothing to flag — but `entries_` is declared
+// std::unordered_map in r6_registry.hpp, and iterating it here makes the
+// merged string depend on bucket order. Cross-file mode must report it.
+#include <string>
+
+#include "r6_registry.hpp"
+
+void Registry::merge_names(std::string& out) const {
+  for (const auto& [name, count] : entries_) {  // seeded violation: R6
+    out += name;
+    out += static_cast<char>('0' + (count % 10));
+  }
+}

@@ -1,0 +1,16 @@
+// Fixture: R6 declaring header. The unordered member below is legal to
+// declare — R6 fires only where another TU iterates it (r6_cross_iter.cpp).
+// Per-file R2 cannot see that use site, which is exactly the gap R6 closes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+class Registry {
+ public:
+  void merge_names(std::string& out) const;  // defined in r6_cross_iter.cpp
+  std::size_t size() const { return entries_.size(); }  // no iteration: fine
+ private:
+  std::unordered_map<std::string, int> entries_;
+};

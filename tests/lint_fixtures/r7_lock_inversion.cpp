@@ -1,0 +1,25 @@
+// Fixture: R7 lock-order. `forward` takes a_ then b_; `backward` takes b_
+// then a_. Each function is locally consistent — only the whole-program
+// acquires-while-holding graph sees the cycle, which is a deadlock when the
+// two run on different threads. Cross-file mode must report the inversion.
+#include <mutex>
+
+class Inverted {
+ public:
+  void forward();
+  void backward();
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+};
+
+void Inverted::forward() {
+  std::lock_guard<std::mutex> la(a_);
+  std::lock_guard<std::mutex> lb(b_);  // seeded violation: R7 (a_ then b_)
+}
+
+void Inverted::backward() {
+  std::lock_guard<std::mutex> lb(b_);
+  std::lock_guard<std::mutex> la(a_);  // opposite order (b_ then a_)
+}

@@ -1,0 +1,28 @@
+// Fixture: R9 WAL replay application. `recover_fixture` drives replay_wal
+// and applies each record with a bare apply_op — apply_op can throw and is
+// neither noexcept nor catch-all wrapped, so a malformed record escapes
+// recovery with no collection context. The apply site must be reported.
+#include <string>
+#include <vector>
+
+struct ReplayRecord {
+  std::string payload;
+};
+
+struct Col {
+  void apply_op(const std::string& payload);
+};
+
+std::vector<ReplayRecord> replay_wal(const std::string& path) {
+  return {ReplayRecord{path}};
+}
+
+void Col::apply_op(const std::string& payload) {
+  if (payload.empty()) throw payload;
+}
+
+void recover_fixture(Col& c, const std::string& path) {
+  for (const ReplayRecord& rec : replay_wal(path)) {
+    c.apply_op(rec.payload);  // seeded violation: R9 — bare apply
+  }
+}

@@ -1,0 +1,28 @@
+// Fixture: R9 thread entry points. `pump_loop` can throw and is neither
+// noexcept nor wrapped in a catch-all, so handing it to a worker thread
+// means an exception calls std::terminate with no context — the launch must
+// be reported. `safe_loop` is noexcept and must NOT be.
+#include <thread>
+#include <vector>
+
+class Pump {
+ public:
+  void start();
+  void pump_loop();  // can throw — unsafe as a thread entry point
+  void safe_loop() noexcept;
+
+ private:
+  std::vector<std::thread> workers_;
+};
+
+void Pump::pump_loop() {
+  volatile int poison = 0;
+  if (poison != 0) throw poison;
+}
+
+void Pump::safe_loop() noexcept {}
+
+void Pump::start() {
+  workers_.emplace_back([this] { pump_loop(); });  // seeded violation: R9
+  workers_.emplace_back([this] { safe_loop(); });  // clean: noexcept entry
+}

@@ -1,0 +1,18 @@
+// Fixture: clean R8 counterpart to r8_missing_sync.cpp. The fsync lives in
+// a helper one call away — R8's reachability is transitive over the call
+// graph, so this must NOT be reported.
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace {
+void sync_fd(int fd) { ::fsync(fd); }
+}  // namespace
+
+int write_marker_durably(const char* path) {
+  const int fd = ::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return -1;
+  (void)::write(fd, "x", 1);
+  sync_fd(fd);  // reaches fsync through the helper
+  ::close(fd);
+  return 0;
+}

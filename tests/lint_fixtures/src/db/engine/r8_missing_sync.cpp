@@ -1,0 +1,15 @@
+// Fixture: R8 durability. The marker file is created and written but the
+// function returns without fsync/fdatasync/sync_parent_dir anywhere on the
+// path — after a crash the file (and on some filesystems its directory
+// entry) can vanish even though the caller was told it was written. The
+// fixture lives under src/db/engine/ because R8 applies to the engine layer.
+#include <fcntl.h>
+#include <unistd.h>
+
+int create_marker(const char* path) {
+  const int fd = ::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return -1;
+  (void)::write(fd, "x", 1);
+  ::close(fd);
+  return 0;  // seeded violation: R8 — never synced
+}

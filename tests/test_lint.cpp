@@ -1,15 +1,17 @@
-// Tests for gptc-lint (tools/lint/): each of the five determinism rules
-// R1–R5 must be caught on its seeded fixture with the exact file:line, the
-// clean fixture (indexed writes, annotated unordered iteration, forbidden
-// names inside strings/comments) must pass, and the repo's own src/ tree
-// must lint clean — the same invocation the `lint` target and the
-// `lint_src` ctest entry run.
+// Tests for gptc-lint (tools/lint/): each determinism rule must be caught
+// on its seeded fixture with the exact file:line, the clean fixtures must
+// pass, and the repo's own src/ tree must lint clean — the same invocations
+// the `lint` target and the lint_* ctest entries run. The cross-file rules
+// R6–R9 are exercised in `--cross-file` mode, including the per-file-mode
+// blindness they were built to close, plus the JSON/SARIF emitters and the
+// baseline write/suppress/expire round-trip.
 //
 // The binary path and fixture directory are injected by tests/CMakeLists.txt
 // as GPTC_LINT_BIN / GPTC_LINT_FIXTURES.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -108,16 +110,197 @@ TEST(Lint, EngineSourcesAreClean) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
-TEST(Lint, ListRulesDescribesAllFive) {
+TEST(Lint, ListRulesDescribesAllNine) {
   const RunResult r = run(lint_cmd("--list-rules"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  for (const char* rule : {"R1 ", "R2 ", "R3 ", "R4 ", "R5 "})
+  for (const char* rule :
+       {"R1 ", "R2 ", "R3 ", "R4 ", "R5 ", "R6 ", "R7 ", "R8 ", "R9 "})
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
 }
 
 TEST(Lint, MissingInputIsAUsageError) {
   const RunResult r = run(lint_cmd(fixture("does_not_exist.cpp")));
   EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// --- cross-file mode (R6–R9) ------------------------------------------------
+
+/// Asserts `--cross-file <args>` flags exactly `path:line: [rule]`.
+void expect_cross_violation(const std::string& args, const std::string& name,
+                            int line, const std::string& rule) {
+  const RunResult r = run(lint_cmd("--cross-file " + args));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string expected =
+      fixture(name) + ":" + std::to_string(line) + ": [" + rule + "]";
+  EXPECT_NE(r.output.find(expected), std::string::npos)
+      << "expected '" << expected << "' in:\n"
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintCross, R6CatchesCrossTuUnorderedIteration) {
+  // The member is declared in the header, iterated in the other TU.
+  expect_cross_violation(
+      fixture("r6_registry.hpp") + " " + fixture("r6_cross_iter.cpp"),
+      "r6_cross_iter.cpp", 10, "R6");
+}
+
+TEST(LintCross, R6ViolationIsInvisibleToPerFileMode) {
+  // The same pair in per-file mode: neither file alone shows the unordered
+  // declaration AND the iteration — the exact gap R6 closes.
+  const RunResult r = run(lint_cmd(fixture("r6_registry.hpp") + " " +
+                                   fixture("r6_cross_iter.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintCross, R7CatchesLockOrderInversion) {
+  expect_cross_violation(fixture("r7_lock_inversion.cpp"),
+                         "r7_lock_inversion.cpp", 19, "R7");
+}
+
+TEST(LintCross, R8CatchesUnsyncedFileCreation) {
+  // The engine-layer fixture directory holds the seeded violation and its
+  // clean counterpart (fsync through a helper) — exactly one finding.
+  expect_cross_violation(fixture("src/db/engine"),
+                         "src/db/engine/r8_missing_sync.cpp", 10, "R8");
+}
+
+TEST(LintCross, R9CatchesThrowingThreadEntryPoint) {
+  // pump_loop is flagged; the noexcept safe_loop launch on the next line
+  // is not (the fixture run reports exactly one finding).
+  expect_cross_violation(fixture("r9_thread_entry.cpp"),
+                         "r9_thread_entry.cpp", 26, "R9");
+}
+
+TEST(LintCross, R9CatchesBareWalReplayApply) {
+  expect_cross_violation(fixture("r9_replay_apply.cpp"),
+                         "r9_replay_apply.cpp", 26, "R9");
+}
+
+TEST(LintCross, FixtureTreeYieldsExactlyOneFindingPerRule) {
+  const RunResult r =
+      run(lint_cmd("--cross-file " + std::string(GPTC_LINT_FIXTURES)));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // R1–R8 seed one finding each; R9 seeds two (thread entry + replay apply).
+  EXPECT_NE(r.output.find("10 finding(s)"), std::string::npos) << r.output;
+  for (const char* rule : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[R6]",
+                           "[R7]", "[R8]", "[R9]"})
+    EXPECT_NE(r.output.find(rule), std::string::npos)
+        << "missing " << rule << " in:\n"
+        << r.output;
+}
+
+TEST(LintCross, RepoSourcesAreCleanInCrossFileMode) {
+  // The acceptance gate: the shipped tree passes the whole-program rules
+  // (the seeded r7_lock_inversion fixture above proves the same invocation
+  // does flag a real inversion).
+  const RunResult r = run(lint_cmd("--cross-file " +
+                                   std::string(GPTC_LINT_SRC_DIR)));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- output formats and baseline -------------------------------------------
+
+TEST(LintOutput, RepeatedInputsAreDeduplicatedAndSorted) {
+  // The same directory twice: findings must not double up, and the output
+  // must be ordered by path so invocation order never changes the report.
+  const std::string dir(GPTC_LINT_FIXTURES);
+  const RunResult r = run(lint_cmd(dir + " " + dir));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("5 finding(s)"), std::string::npos) << r.output;
+  const auto p1 = r.output.find("r1_c_prng");
+  const auto p2 = r.output.find("r2_unordered_iter");
+  const auto p3 = r.output.find("r3_capture_write");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST(LintOutput, JsonFormatCarriesFindingsAndFileCount) {
+  const RunResult r =
+      run(lint_cmd("--format=json " + fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"files_scanned\": 1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"rule\": \"R1\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"line\": 7"), std::string::npos) << r.output;
+}
+
+TEST(LintOutput, JsonFormatEmptyFindingsIsValid) {
+  const RunResult r =
+      run(lint_cmd("--format=json " + fixture("clean_patterns.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"findings\": []"), std::string::npos) << r.output;
+}
+
+TEST(LintOutput, SarifFormatIsSchemaTagged) {
+  const RunResult r =
+      run(lint_cmd("--format=sarif " + fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"version\": \"2.1.0\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("sarif-2.1.0.json"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"name\": \"gptc-lint\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"ruleId\": \"R1\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"startLine\": 7"), std::string::npos) << r.output;
+}
+
+TEST(LintOutput, UnknownFormatIsAUsageError) {
+  const RunResult r =
+      run(lint_cmd("--format=xml " + fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(LintBaseline, WriteSuppressExpireRoundTrip) {
+  const std::string baseline = "lint_test_baseline.json";
+  // 1. Write: capture the seeded R1 finding as the baseline.
+  RunResult r = run(lint_cmd("--write-baseline " + baseline + " " +
+                             fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // 2. Suppress: the same invocation with the baseline applied is clean.
+  r = run(lint_cmd("--baseline " + baseline + " " + fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("stale"), std::string::npos) << r.output;
+  // 3. Expire: against a clean file the entry matches nothing — the run
+  //    stays green but names the stale entry so the baseline shrinks.
+  r = run(lint_cmd("--baseline " + baseline + " " +
+                   fixture("clean_patterns.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("stale baseline entry"), std::string::npos)
+      << r.output;
+  std::remove(baseline.c_str());
+}
+
+TEST(LintBaseline, NonBaselinedFindingStillFails) {
+  const std::string baseline = "lint_test_baseline2.json";
+  RunResult r = run(lint_cmd("--write-baseline " + baseline + " " +
+                             fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // A different rule's finding is not covered by the R1 baseline.
+  r = run(lint_cmd("--baseline " + baseline + " " + fixture("r1_c_prng.cpp") +
+                   " " + fixture("r2_unordered_iter.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[R2]"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("[R1]"), std::string::npos) << r.output;
+  std::remove(baseline.c_str());
+}
+
+TEST(LintBaseline, MalformedBaselineIsAUsageError) {
+  const std::string baseline = "lint_test_baseline3.json";
+  {
+    std::ofstream out(baseline);
+    out << "{\"findings\": [{\"path\": \"x\"";  // truncated JSON
+  }
+  const RunResult r = run(lint_cmd("--baseline " + baseline + " " +
+                                   fixture("clean_patterns.cpp")));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  std::remove(baseline.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,369 @@
+#include "lint_output.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace gptc::lint {
+
+namespace {
+
+/// Rule metadata for SARIF's tool.driver.rules array.
+struct RuleMeta {
+  const char* id;
+  const char* name;
+  const char* description;
+};
+
+constexpr RuleMeta kRules[] = {
+    {"R1", "nondeterministic-source",
+     "No std::rand/srand/random_device or *_clock::now() outside src/rng/ "
+     "and tools/."},
+    {"R2", "unordered-iteration",
+     "No iteration over std::unordered_map/set in the declaring TU."},
+    {"R3", "unindexed-capture-write",
+     "No un-indexed write to a [&]-captured variable inside "
+     "parallel_for/parallel_map."},
+    {"R4", "objective-in-parallel",
+     "src/parallel/ must not call evaluate/objective entry points."},
+    {"R5", "float-reduction",
+     "No float/double +=/-= accumulation inside a parallel body."},
+    {"R6", "cross-tu-unordered",
+     "No iteration over an unordered member declared in another TU."},
+    {"R7", "lock-order",
+     "The project-wide acquires-while-holding graph must be acyclic."},
+    {"R8", "durability",
+     "src/db/engine/ file creation must reach fsync/sync_parent_dir before "
+     "returning."},
+    {"R9", "noexcept-boundary",
+     "Thread entry points and WAL replay apply sites must be noexcept or "
+     "wrapped in a catch-all."},
+};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- minimal JSON reader (baseline files only) -----------------------------
+//
+// gptc-lint is freestanding (no src/ dependency), so the baseline loader
+// carries its own small parser: strings, numbers, objects, arrays, literals.
+// It validates structure but only retains string values of object keys.
+
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string error;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool fail(const std::string& what) {
+    if (error.empty())
+      error = what + " at offset " + std::to_string(i);
+    return false;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return fail("expected string");
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        if (i + 1 >= s.size()) return fail("bad escape");
+        const char e = s[i + 1];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (i + 5 >= s.size()) return fail("bad \\u escape");
+            // Baselines are ASCII in practice; keep the escape verbatim
+            // rather than decoding UTF-16 surrogates.
+            out += s.substr(i, 6);
+            i += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        i += 2;
+      } else {
+        out += s[i++];
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;  // closing quote
+    return true;
+  }
+  /// Parses any value; when `fields` is non-null and the value is an object,
+  /// its string-valued members are stored there.
+  bool parse_value(std::map<std::string, std::string>* fields,
+                   std::vector<std::map<std::string, std::string>>* items) {
+    skip_ws();
+    if (i >= s.size()) return fail("unexpected end of input");
+    const char c = s[i];
+    if (c == '"') {
+      std::string str;
+      return parse_string(str);
+    }
+    if (c == '{') {
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (i >= s.size() || s[i] != ':') return fail("expected ':'");
+        ++i;
+        skip_ws();
+        if (i < s.size() && s[i] == '"' && fields != nullptr) {
+          std::string value;
+          if (!parse_string(value)) return false;
+          (*fields)[key] = value;
+        } else if (key == "findings" && items != nullptr && i < s.size() &&
+                   s[i] == '[') {
+          ++i;
+          skip_ws();
+          if (i < s.size() && s[i] == ']') {
+            ++i;
+          } else {
+            while (true) {
+              std::map<std::string, std::string> entry;
+              if (!parse_value(&entry, nullptr)) return false;
+              items->push_back(std::move(entry));
+              skip_ws();
+              if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+              }
+              break;
+            }
+            skip_ws();
+            if (i >= s.size() || s[i] != ']') return fail("expected ']'");
+            ++i;
+          }
+        } else {
+          if (!parse_value(nullptr, nullptr)) return false;
+        }
+        skip_ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (i >= s.size() || s[i] != '}') return fail("expected '}'");
+      ++i;
+      return true;
+    }
+    if (c == '[') {
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        if (!parse_value(nullptr, nullptr)) return false;
+        skip_ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (i >= s.size() || s[i] != ']') return fail("expected ']'");
+      ++i;
+      return true;
+    }
+    // number / true / false / null — consume the token.
+    const std::size_t start = i;
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '-' || s[i] == '+' || s[i] == '.'))
+      ++i;
+    if (i == start) return fail("unexpected character");
+    return true;
+  }
+};
+
+/// Suffix match on a path-component boundary: "src/a.cpp" matches
+/// "/repo/src/a.cpp" but not "xsrc/a.cpp".
+bool path_suffix(const std::string& shorter, const std::string& longer) {
+  if (shorter.size() > longer.size()) return false;
+  if (longer.compare(longer.size() - shorter.size(), shorter.size(),
+                     shorter) != 0)
+    return false;
+  return shorter.size() == longer.size() ||
+         longer[longer.size() - shorter.size() - 1] == '/';
+}
+
+}  // namespace
+
+void sort_and_dedupe(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.path == b.path && a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+}
+
+bool baseline_matches(const BaselineEntry& entry, const Finding& finding) {
+  if (entry.rule != finding.rule || entry.message != finding.message)
+    return false;
+  return path_suffix(entry.path, finding.path) ||
+         path_suffix(finding.path, entry.path);
+}
+
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& out,
+                   std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open baseline file: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonParser parser(text);
+  std::vector<std::map<std::string, std::string>> items;
+  if (!parser.parse_value(nullptr, &items)) {
+    error = "invalid baseline JSON in " + path + ": " + parser.error;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.i != text.size()) {
+    error = "invalid baseline JSON in " + path + ": trailing content";
+    return false;
+  }
+  for (const auto& fields : items) {
+    BaselineEntry e;
+    const auto p = fields.find("path");
+    const auto r = fields.find("rule");
+    const auto m = fields.find("message");
+    if (p == fields.end() || r == fields.end() || m == fields.end()) {
+      error = "baseline entry in " + path +
+              " missing a required key (path/rule/message)";
+      return false;
+    }
+    e.path = p->second;
+    e.rule = r->second;
+    e.message = m->second;
+    out.push_back(std::move(e));
+  }
+  return true;
+}
+
+std::string to_baseline(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"path\": \"" << escape(f.path) << "\", \"rule\": \""
+        << escape(f.rule) << "\", \"message\": \"" << escape(f.message)
+        << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_scanned) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"path\": \"" << escape(f.path) << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << escape(f.rule) << "\", \"message\": \""
+        << escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"gptc-lint\",\n"
+      << "          \"rules\": [";
+  for (std::size_t i = 0; i < std::size(kRules); ++i) {
+    const RuleMeta& r = kRules[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "            {\"id\": \"" << r.id << "\", \"name\": \"" << r.name
+        << "\", \"shortDescription\": {\"text\": \"" << escape(r.description)
+        << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "        {\"ruleId\": \"" << escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << escape(f.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << escape(f.path)
+        << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]}";
+  }
+  out << (findings.empty() ? "]" : "\n      ]") << "\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace gptc::lint

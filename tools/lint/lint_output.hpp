@@ -1,0 +1,55 @@
+// Finding emitters and baseline handling for gptc-lint.
+//
+// Three output formats share one sorted finding list:
+//   text   `path:line: [Rk] message` — the grep-able default;
+//   json   `{"findings":[{path,line,rule,message}...]}` for scripting;
+//   sarif  minimal SARIF 2.1.0 for code-scanning UIs (one run, one result
+//          per finding, rule metadata from describe_rules' catalogue).
+//
+// A baseline is a checked-in JSON list of known findings. Matching ignores
+// the line number (so unrelated edits above a finding don't churn the
+// baseline) and compares the path by suffix on a path-component boundary
+// (so the baseline written from the repo root matches an absolute-path
+// invocation). Entries that no longer match anything are "stale" — they are
+// reported as warnings so the baseline shrinks over time, but do not fail
+// the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+namespace gptc::lint {
+
+/// One baseline entry: a finding identity without its line number.
+struct BaselineEntry {
+  std::string path;
+  std::string rule;
+  std::string message;
+};
+
+/// Sorts by (path, line, rule, message) and removes exact duplicates, so
+/// multi-directory invocations are stable for baseline diffing.
+void sort_and_dedupe(std::vector<Finding>& findings);
+
+/// True when `entry` suppresses `finding` (rule + message equal, entry path
+/// a component-boundary suffix of the finding path or vice versa).
+bool baseline_matches(const BaselineEntry& entry, const Finding& finding);
+
+/// Parses a baseline file. Returns false and sets `error` on I/O or JSON
+/// problems; an empty or absent "findings" array is a valid empty baseline.
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& out,
+                   std::string& error);
+
+/// Serializes findings as a baseline document (line numbers omitted).
+std::string to_baseline(const std::vector<Finding>& findings);
+
+/// Serializes findings as the machine-readable JSON report.
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_scanned);
+
+/// Serializes findings as a minimal SARIF 2.1.0 log.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace gptc::lint

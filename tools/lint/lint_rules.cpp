@@ -413,7 +413,289 @@ void rule_r4(const ScannedFile& f, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// R6: iteration over an unordered member declared in another TU.
+// ---------------------------------------------------------------------------
+
+void rule_r6(const ScannedFile& f, const ProjectIndex& ix,
+             std::vector<Finding>& out) {
+  // Names declared unordered elsewhere in the project. Names also declared
+  // unordered in THIS file are R2's job (per-file visibility) — excluding
+  // them keeps the two rules disjoint.
+  const Tokens& t = f.tokens;
+  const std::set<std::string> local = unordered_names(t);
+  std::map<std::string, const UnorderedMember*> cross;
+  for (const UnorderedMember& m : ix.unordered_members()) {
+    if (m.path == f.path || local.count(m.name) != 0) continue;
+    cross.emplace(m.name, &m);
+  }
+  if (cross.empty()) return;
+
+  auto report = [&](int line, const UnorderedMember& m, const char* how) {
+    add(out, f, line, "R6",
+        std::string(how) + " unordered member '" + m.name + "' (" +
+            m.container + ", declared " + m.path + ":" +
+            std::to_string(m.line) +
+            ") — bucket order is implementation-defined; iterate a sorted "
+            "view, or annotate `// lint: unordered-ok <reason>` if provably "
+            "order-independent");
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_id(t[i], "for") && i + 1 < t.size() && is_p(t[i + 1], "(")) {
+      const std::size_t close = find_matching(t, i + 1, "(", ")");
+      if (close >= t.size()) continue;
+      std::size_t colon = t.size();
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (is_p(t[j], "(")) ++depth;
+        else if (is_p(t[j], ")")) --depth;
+        else if (is_p(t[j], ":") && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == t.size()) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        const auto it = t[j].kind == TokKind::Identifier
+                            ? cross.find(t[j].text)
+                            : cross.end();
+        if (it != cross.end()) {
+          if (!f.allowed("unordered-ok", t[i].line))
+            report(t[i].line, *it->second, "range-for over");
+          break;
+        }
+      }
+    }
+    if (t[i].kind == TokKind::Identifier && cross.count(t[i].text) != 0 &&
+        i + 2 < t.size() && (is_p(t[i + 1], ".") || is_p(t[i + 1], "->")) &&
+        (is_id(t[i + 2], "begin") || is_id(t[i + 2], "cbegin"))) {
+      if (!f.allowed("unordered-ok", t[i].line))
+        report(t[i].line, *cross.at(t[i].text), "iterator over");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R8: durability — file creation must reach fsync / sync_parent_dir.
+// ---------------------------------------------------------------------------
+
+void rule_r8(const ScannedFile& f, const ProjectIndex& ix,
+             std::vector<Finding>& out) {
+  for (const FunctionInfo* fn : ix.functions_in(f.path)) {
+    if (!fn->is_definition || fn->creates.empty()) continue;
+    bool durable = fn->contains_sync;
+    for (const CallSite& c : fn->calls) {
+      if (durable) break;
+      if (ix.reaches_sync(c.name)) durable = true;
+    }
+    if (durable) continue;
+    for (const CreateSite& cs : fn->creates) {
+      if (f.allowed("durability-ok", cs.line)) continue;
+      add(out, f, cs.line, "R8",
+          "'" + cs.what + "' in '" + fn->qualified +
+              "' never reaches fsync/fdatasync/sync_parent_dir before "
+              "returning — a crash can lose the file or its directory "
+              "entry; sync it (directly or via a helper), or annotate "
+              "`// lint: durability-ok <reason>`");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R9: noexcept boundaries — thread entry points and WAL replay application.
+// ---------------------------------------------------------------------------
+
+/// True when some known definition/declaration of `base` is safe at an
+/// exception boundary: marked noexcept on any decl, or its definition holds
+/// a catch-all handler. Unknown names (std:: calls etc.) are not flagged.
+bool callee_safe_or_unknown(const ProjectIndex& ix, const std::string& base) {
+  const auto fns = ix.functions_named(base);
+  bool any_project = false;
+  for (const FunctionInfo* fn : fns) {
+    if (!fn->is_definition && !fn->is_noexcept) continue;  // pseudo-decls
+    any_project = true;
+    if (ix.is_noexcept(fn->qualified) || ix.has_catch_all(fn->qualified))
+      return true;
+  }
+  return !any_project;
+}
+
+/// Checks the callable argument tokens [begin, end) of a thread launch. A
+/// lambda is safe when its body opens with `try { ... } catch (...)`;
+/// otherwise every project-resolvable call inside it must be safe. A plain
+/// function reference must itself be safe.
+void check_launch_callable(const ScannedFile& f, const ProjectIndex& ix,
+                           std::size_t begin, std::size_t end, int line,
+                           std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  if (f.allowed("noexcept-ok", line)) return;
+  auto flag = [&](const std::string& name) {
+    add(out, f, line, "R9",
+        "thread entry point '" + name +
+            "' is neither noexcept nor wrapped in a catch-all — an "
+            "exception escaping a worker thread calls std::terminate with "
+            "no context; mark it noexcept (and handle internally) or "
+            "annotate `// lint: noexcept-ok <reason>`");
+  };
+  if (begin < end && is_p(t[begin], "[")) {
+    // Lambda: locate the body and inspect its calls.
+    std::size_t body = end;
+    for (std::size_t j = find_matching(t, begin, "[", "]"); j < end; ++j) {
+      if (is_p(t[j], "{")) {
+        body = j;
+        break;
+      }
+    }
+    if (body >= end) return;
+    const std::size_t body_close = find_matching(t, body, "{", "}");
+    // `[...] { try { ... } catch (...) { ... } }` is a wrapped entry point.
+    if (body + 1 < body_close && is_id(t[body + 1], "try")) return;
+    for (std::size_t j = body + 1; j < body_close; ++j) {
+      if (t[j].kind != TokKind::Identifier || j + 1 >= body_close ||
+          !is_p(t[j + 1], "("))
+        continue;
+      if (is_expr_keyword(t[j].text)) continue;
+      if (!callee_safe_or_unknown(ix, t[j].text)) flag(t[j].text);
+    }
+    return;
+  }
+  // Function reference: first identifier that names a project function.
+  for (std::size_t j = begin; j < end; ++j) {
+    if (t[j].kind != TokKind::Identifier) continue;
+    if (ix.functions_named(t[j].text).empty()) continue;
+    if (!callee_safe_or_unknown(ix, t[j].text)) flag(t[j].text);
+    return;
+  }
+}
+
+void rule_r9(const ScannedFile& f, const ProjectIndex& ix,
+             std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Direct launch: `std::thread t(callable, ...)` / `std::jthread ...`.
+    if ((is_id(t[i], "thread") || is_id(t[i], "jthread")) && i + 2 < t.size() &&
+        t[i + 1].kind == TokKind::Identifier && is_p(t[i + 2], "(")) {
+      const std::size_t close = find_matching(t, i + 2, "(", ")");
+      if (close < t.size())
+        check_launch_callable(f, ix, i + 3, close, t[i].line, out);
+      continue;
+    }
+    // Launch into a std::thread container member: `workers_.emplace_back(...)`.
+    if (t[i].kind == TokKind::Identifier && ix.is_thread_member(t[i].text) &&
+        i + 3 < t.size() && (is_p(t[i + 1], ".") || is_p(t[i + 1], "->")) &&
+        (is_id(t[i + 2], "emplace_back") || is_id(t[i + 2], "push_back")) &&
+        is_p(t[i + 3], "(")) {
+      const std::size_t close = find_matching(t, i + 3, "(", ")");
+      if (close < t.size())
+        check_launch_callable(f, ix, i + 4, close, t[i].line, out);
+    }
+  }
+
+  // WAL replay application: in a function that drives replay_wal, every
+  // apply_op call must sit inside a catch-all try block (or apply_op itself
+  // must be safe) — a JSON/op error mid-replay must surface as the engine's
+  // refusal, not as an uncaught exception with no collection context.
+  for (const FunctionInfo* fn : ix.functions_in(f.path)) {
+    if (!fn->is_definition) continue;
+    bool drives_replay = false;
+    for (const CallSite& c : fn->calls)
+      if (c.name == "replay_wal") drives_replay = true;
+    if (!drives_replay) continue;
+    for (const CallSite& c : fn->calls) {
+      if (c.name != "apply_op") continue;
+      if (f.allowed("noexcept-ok", c.line)) continue;
+      bool in_try = false;
+      for (const TryRange& tr : fn->tries)
+        if (tr.catch_all && c.token > tr.begin && c.token < tr.end)
+          in_try = true;
+      if (in_try) continue;
+      if (callee_safe_or_unknown(ix, "apply_op")) continue;
+      add(out, f, c.line, "R9",
+          "WAL replay application call 'apply_op' in '" + fn->qualified +
+              "' is not wrapped in a catch-all and 'apply_op' is not "
+              "noexcept — a malformed record would escape recovery without "
+              "naming the collection; wrap the call (rethrowing with "
+              "context) or annotate `// lint: noexcept-ok <reason>`");
+    }
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// R7: lock-order cycles over the project-wide acquires-while-holding graph.
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> run_project_rules(const ProjectIndex& index) {
+  std::vector<Finding> out;
+  // Active edges: at least one non-suppressed witness.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [edge, witnesses] : index.lock_edges()) {
+    for (const LockEdgeWitness& w : witnesses) {
+      if (!w.suppressed) {
+        adj[edge.first].insert(edge.second);
+        break;
+      }
+    }
+  }
+  auto reachable = [&adj](const std::string& from, const std::string& to) {
+    std::set<std::string> seen = {from};
+    std::vector<std::string> stack = {from};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == to) return true;
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return false;
+  };
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const auto& [edge, witnesses] : index.lock_edges()) {
+    const std::string& a = edge.first;
+    const std::string& b = edge.second;
+    if (adj.count(a) == 0 || adj[a].count(b) == 0) continue;  // suppressed
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (reported.count(key) != 0) continue;
+    if (!reachable(b, a)) continue;
+    reported.insert(key);
+    const LockEdgeWitness* w = nullptr;
+    for (const LockEdgeWitness& cand : witnesses)
+      if (!cand.suppressed) {
+        w = &cand;
+        break;
+      }
+    if (w == nullptr) continue;
+    // Name one witness of the opposite order when a direct reverse edge
+    // exists (the common two-lock inversion).
+    std::string reverse_note;
+    const auto rev = index.lock_edges().find({b, a});
+    if (rev != index.lock_edges().end()) {
+      for (const LockEdgeWitness& cand : rev->second) {
+        if (cand.suppressed) continue;
+        reverse_note = "; the opposite order is taken in '" + cand.function +
+                       "' (" + cand.path + ":" + std::to_string(cand.line) +
+                       ")";
+        break;
+      }
+    } else {
+      reverse_note = "; the opposite order is reachable through intermediate "
+                     "locks";
+    }
+    out.push_back(Finding{
+        w->path, w->line, "R7",
+        "lock-order inversion between '" + a + "' and '" + b + "': in '" +
+            w->function + "' " + w->detail + reverse_note +
+            " — two threads taking these locks in opposite orders can "
+            "deadlock; pick one order, or annotate the site "
+            "`// lint: lock-order-ok <reason>` if the orders can never "
+            "interleave"});
+  }
+  return out;
+}
 
 FileContext context_for_path(const std::string& path) {
   std::string p = path;
@@ -423,16 +705,22 @@ FileContext context_for_path(const std::string& path) {
   const bool in_tools = p.find("tools/") != std::string::npos;
   ctx.rng_exempt = in_rng || in_tools;
   ctx.parallel_layer = p.find("src/parallel/") != std::string::npos;
+  ctx.engine_layer = p.find("src/db/engine/") != std::string::npos;
   return ctx;
 }
 
-std::vector<Finding> run_rules(const ScannedFile& file,
-                               const FileContext& ctx) {
+std::vector<Finding> run_rules(const ScannedFile& file, const FileContext& ctx,
+                               const ProjectIndex* index) {
   std::vector<Finding> out;
   if (!ctx.rng_exempt) rule_r1(file, out);
   rule_r2(file, out);
   rules_r3_r5(file, out);
   if (ctx.parallel_layer) rule_r4(file, out);
+  if (index != nullptr) {
+    rule_r6(file, *index, out);
+    if (ctx.engine_layer) rule_r8(file, *index, out);
+    rule_r9(file, *index, out);
+  }
   std::stable_sort(out.begin(), out.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;
@@ -451,7 +739,18 @@ std::string describe_rules() {
       "R4 objective-in-parallel     src/parallel/ must not call evaluate/"
       "objective entry points\n"
       "R5 float-reduction           no float/double +=/-= accumulation "
-      "inside a parallel body\n";
+      "inside a parallel body\n"
+      "R6 cross-tu-unordered        [--cross-file] no iteration over an "
+      "unordered member declared in another TU (escape: `// lint: "
+      "unordered-ok <reason>`)\n"
+      "R7 lock-order                [--cross-file] acquires-while-holding "
+      "graph must be acyclic (escape: `// lint: lock-order-ok <reason>`)\n"
+      "R8 durability                [--cross-file] src/db/engine/ file "
+      "creation must reach fsync/sync_parent_dir (escape: `// lint: "
+      "durability-ok <reason>`)\n"
+      "R9 noexcept-boundary         [--cross-file] thread entry points and "
+      "WAL replay apply sites must be noexcept or catch-all wrapped "
+      "(escape: `// lint: noexcept-ok <reason>`)\n";
 }
 
 }  // namespace gptc::lint

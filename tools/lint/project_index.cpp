@@ -1,0 +1,806 @@
+#include "project_index.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace gptc::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_id(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Identifier && t.text == s;
+}
+
+bool is_p(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
+bool is_expr_keyword(std::string_view s) {
+  static const std::set<std::string_view> kw = {
+      "return", "co_return", "co_yield", "co_await", "throw", "case",
+      "else",   "do",        "goto",     "new",      "delete", "sizeof",
+      "alignof", "typeid",   "not",      "and",      "or",     "xor",
+      "if",     "while",     "for",      "switch",   "catch",  "constexpr",
+      "static_assert",
+  };
+  return kw.count(s) != 0;
+}
+
+bool is_cv_ref(const Token& t) {
+  return is_id(t, "const") || is_id(t, "volatile") || is_p(t, "&") ||
+         is_p(t, "*") || is_p(t, "&&");
+}
+
+std::size_t find_matching(const Tokens& t, std::size_t open,
+                          std::string_view open_text,
+                          std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (is_p(t[i], open_text)) ++depth;
+    else if (is_p(t[i], close_text)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+const std::set<std::string_view> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string_view> kMutexTypes = {
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex", "shared_timed_mutex"};
+
+const std::set<std::string_view> kLockWrappers = {
+    "lock_guard", "unique_lock", "shared_lock", "scoped_lock"};
+
+}  // namespace
+
+/// All the pass-1 extraction for one file; owns the transient state (class
+/// stack, brace matching) the walk needs.
+class IndexBuilder {
+ public:
+  IndexBuilder(ProjectIndex& index, const ScannedFile& file)
+      : ix_(index), f_(file), t_(file.tokens) {
+    stem_ = std::filesystem::path(file.path).stem().string();
+  }
+
+  void run() {
+    record_directives();
+    std::vector<std::pair<std::string, std::size_t>> class_stack;
+    for (std::size_t i = 0; i < t_.size(); ++i) {
+      while (!class_stack.empty() && i >= class_stack.back().second)
+        class_stack.pop_back();
+      if ((is_id(t_[i], "class") || is_id(t_[i], "struct")) &&
+          (i == 0 || !is_id(t_[i - 1], "enum"))) {
+        if (std::size_t body = enter_class(i, class_stack); body != 0) {
+          // Keep walking *into* the body (member functions are defined
+          // there); members themselves were extracted by enter_class.
+          i = body;  // position on '{'; loop advances past it
+          continue;
+        }
+      }
+      if (is_p(t_[i], "(")) {
+        const std::string cls =
+            class_stack.empty() ? std::string() : class_stack.back().first;
+        try_function(i, cls);
+      }
+    }
+  }
+
+ private:
+  /// Copies the file's `lock-order-ok` directives into the index (R7 needs
+  /// them at finalize time, when the per-file directive list is gone).
+  void record_directives() {
+    for (const Directive& d : f_.directives) {
+      if (d.name == "lock-order-ok") {
+        ix_.lock_order_ok_[f_.path].insert(d.line);
+        ix_.lock_order_ok_[f_.path].insert(d.line + 1);
+      }
+    }
+  }
+
+  /// Handles `class`/`struct` at `i`. Returns the body-'{' index when a
+  /// definition was entered (class recorded, members extracted), 0 when it
+  /// was a forward declaration or unrecognized.
+  std::size_t enter_class(
+      std::size_t i,
+      std::vector<std::pair<std::string, std::size_t>>& class_stack) {
+    if (i + 1 >= t_.size() || t_[i + 1].kind != TokKind::Identifier) return 0;
+    const std::string name = t_[i + 1].text;
+    // Find the body '{' or the ';' of a forward declaration. A base-clause
+    // may contain template args but never braces or semicolons.
+    for (std::size_t j = i + 2; j < t_.size(); ++j) {
+      if (is_p(t_[j], ";")) {
+        ix_.classes_.insert(name);
+        return 0;
+      }
+      if (is_p(t_[j], "(") || is_p(t_[j], ")") || is_p(t_[j], "=")) return 0;
+      if (is_p(t_[j], "{")) {
+        ix_.classes_.insert(name);
+        const std::size_t close = find_matching(t_, j, "{", "}");
+        class_stack.emplace_back(name, close);
+        extract_members(name, j + 1, close);
+        return j;
+      }
+    }
+    return 0;
+  }
+
+  /// Scans a class body's top level (nested braces skipped) for data-member
+  /// declarations, recording unordered containers, mutexes, std::thread
+  /// containers, and every member's type identifiers.
+  void extract_members(const std::string& cls, std::size_t begin,
+                       std::size_t end) {
+    std::size_t i = begin;
+    while (i < end) {
+      // One declaration run: up to the next top-level ';'. Brace/paren
+      // regions (inline method bodies, default member initializers) are
+      // skipped whole.
+      std::size_t run_begin = i;
+      std::size_t j = i;
+      bool has_paren_after_ident = false;
+      std::size_t last_ident = t_.size();
+      while (j < end) {
+        if (is_p(t_[j], "{")) {
+          j = find_matching(t_, j, "{", "}");
+          if (j >= end) return;
+          // An inline method body ends the declaration without ';'.
+          has_paren_after_ident = true;  // treat as non-member
+          break;
+        }
+        if (is_p(t_[j], "(")) {
+          if (j > run_begin && t_[j - 1].kind == TokKind::Identifier)
+            has_paren_after_ident = true;
+          j = find_matching(t_, j, "(", ")");
+          if (j >= end) return;
+        } else if (is_p(t_[j], ";")) {
+          break;
+        } else if (t_[j].kind == TokKind::Identifier) {
+          last_ident = j;
+        }
+        ++j;
+      }
+      if (!has_paren_after_ident && last_ident < t_.size() &&
+          last_ident > run_begin) {
+        // Member variable: `<type tokens> name ;` or `... name = init ;`.
+        // The declarator name is the identifier right before the first
+        // top-level '=' (if any), else the last identifier of the run.
+        std::size_t name_tok = last_ident;
+        for (std::size_t k = run_begin; k < j; ++k) {
+          if (is_p(t_[k], "=")) {
+            name_tok = t_.size();
+            for (std::size_t m = run_begin; m < k; ++m)
+              if (t_[m].kind == TokKind::Identifier) name_tok = m;
+            break;
+          }
+          if (is_p(t_[k], "<")) k = find_matching(t_, k, "<", ">");
+        }
+        if (name_tok < t_.size()) record_member(cls, run_begin, name_tok);
+      }
+      i = j + 1;
+    }
+  }
+
+  void record_member(const std::string& cls, std::size_t type_begin,
+                     std::size_t name_tok) {
+    const std::string& name = t_[name_tok].text;
+    std::vector<std::string> type_ids;
+    bool is_unordered = false, is_mutex = false, is_thread = false;
+    std::string container;
+    for (std::size_t k = type_begin; k < name_tok; ++k) {
+      if (t_[k].kind != TokKind::Identifier) continue;
+      const std::string& s = t_[k].text;
+      if (s == "static" || s == "mutable" || s == "const" || s == "inline")
+        continue;
+      type_ids.push_back(s);
+      if (kUnorderedContainers.count(s) != 0) {
+        is_unordered = true;
+        container = s;
+      }
+      if (kMutexTypes.count(s) != 0) is_mutex = true;
+      if (s == "thread" || s == "jthread") is_thread = true;
+    }
+    if (type_ids.empty()) return;
+    ix_.member_type_ids_[cls][name] = type_ids;
+    if (is_unordered)
+      ix_.unordered_members_.push_back(
+          {cls, name, container, f_.path, t_[name_tok].line});
+    if (is_mutex)
+      ix_.mutex_members_.push_back({cls, name, f_.path, t_[name_tok].line});
+    if (is_thread) ix_.thread_members_.insert(name);
+  }
+
+  // --- function extraction -------------------------------------------------
+
+  /// Parses the qualified name chain ending just before the '(' at `paren`.
+  /// Returns false when the tokens before it cannot name a function.
+  bool parse_name(std::size_t paren, std::string& qualified, std::string& base,
+                  std::string& cls_out, std::size_t& chain_begin) {
+    if (paren == 0 || t_[paren - 1].kind != TokKind::Identifier) return false;
+    std::vector<std::string> parts = {t_[paren - 1].text};
+    std::size_t k = paren - 1;
+    bool dtor = false;
+    if (k >= 1 && is_p(t_[k - 1], "~")) {
+      dtor = true;
+      --k;
+    }
+    while (k >= 2 && is_p(t_[k - 1], "::") &&
+           t_[k - 2].kind == TokKind::Identifier) {
+      parts.insert(parts.begin(), t_[k - 2].text);
+      k -= 2;
+    }
+    base = parts.back();
+    if (is_expr_keyword(base) || base == "operator") return false;
+    qualified.clear();
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      if (p != 0) qualified += "::";
+      if (p + 1 == parts.size() && dtor) qualified += "~";
+      qualified += parts[p];
+    }
+    cls_out = parts.size() >= 2 ? parts[parts.size() - 2] : std::string();
+    chain_begin = k;
+    return true;
+  }
+
+  /// Attempts to recognize the '(' at `i` as a function definition or
+  /// declaration; records it (with full body analysis for definitions).
+  void try_function(std::size_t i, const std::string& enclosing_cls) {
+    std::string qualified, base, name_cls;
+    std::size_t chain_begin = 0;
+    if (!parse_name(i, qualified, base, name_cls, chain_begin)) return;
+    const std::size_t close = find_matching(t_, i, "(", ")");
+    if (close >= t_.size()) return;
+
+    // Qualifiers between the parameter list and the body/terminator.
+    bool marked_noexcept = false;
+    std::size_t j = close + 1;
+    bool is_def = false;
+    while (j < t_.size()) {
+      if (is_id(t_[j], "const") || is_id(t_[j], "override") ||
+          is_id(t_[j], "final") || is_id(t_[j], "mutable") ||
+          is_p(t_[j], "&") || is_p(t_[j], "&&")) {
+        ++j;
+      } else if (is_id(t_[j], "noexcept")) {
+        marked_noexcept = true;
+        ++j;
+        if (j < t_.size() && is_p(t_[j], "("))
+          j = find_matching(t_, j, "(", ")") + 1;
+      } else if (is_p(t_[j], "->")) {
+        // Trailing return type: scan to the body '{' or a ';'.
+        ++j;
+        int pdepth = 0;
+        while (j < t_.size()) {
+          if (is_p(t_[j], "(")) ++pdepth;
+          else if (is_p(t_[j], ")")) --pdepth;
+          else if (pdepth == 0 && (is_p(t_[j], "{") || is_p(t_[j], ";")))
+            break;
+          ++j;
+        }
+      } else if (is_p(t_[j], ":")) {
+        // Constructor init list: `name (args)` / `name {args}` entries.
+        ++j;
+        while (j < t_.size()) {
+          if (t_[j].kind == TokKind::Identifier) {
+            ++j;
+            while (j < t_.size() && (is_p(t_[j], "::") || is_p(t_[j], "<"))) {
+              if (is_p(t_[j], "<")) j = find_matching(t_, j, "<", ">") + 1;
+              else j += 2;  // ':: ident'
+            }
+            if (j < t_.size() && is_p(t_[j], "("))
+              j = find_matching(t_, j, "(", ")") + 1;
+            else if (j < t_.size() && is_p(t_[j], "{"))
+              j = find_matching(t_, j, "{", "}") + 1;
+            if (j < t_.size() && is_p(t_[j], ",")) {
+              ++j;
+              continue;
+            }
+          }
+          break;
+        }
+        if (j < t_.size() && is_p(t_[j], "{")) is_def = true;
+        break;
+      } else if (is_p(t_[j], "{")) {
+        is_def = true;
+        break;
+      } else if (is_p(t_[j], ";")) {
+        break;
+      } else {
+        return;  // ',' (declarator list), '=', operators: not a function
+      }
+    }
+    if (j >= t_.size()) return;
+
+    const bool qualified_chain = qualified.find("::") != std::string::npos;
+    const bool ctor_dtor = !enclosing_cls.empty() &&
+                           (base == enclosing_cls || qualified[0] == '~');
+    if (!qualified_chain && !ctor_dtor) {
+      // Require a type token before the name: separates declarations and
+      // definitions from plain call statements (`sync_parent_dir(dir_);`).
+      if (chain_begin == 0) {
+        if (!is_def) return;
+      } else {
+        const Token& before = t_[chain_begin - 1];
+        const bool typed =
+            (before.kind == TokKind::Identifier &&
+             !is_expr_keyword(before.text)) ||
+            is_p(before, ">") || is_p(before, "*") || is_p(before, "&");
+        if (!typed) return;
+      }
+    }
+
+    FunctionInfo fn;
+    fn.base = base;
+    fn.cls = !name_cls.empty()
+                 ? name_cls
+                 : (!enclosing_cls.empty() ? enclosing_cls : std::string());
+    fn.qualified = (!name_cls.empty() || enclosing_cls.empty())
+                       ? qualified
+                       : enclosing_cls + "::" + qualified;
+    fn.path = f_.path;
+    fn.line = t_[i].line;
+    fn.is_noexcept = marked_noexcept;
+    fn.is_definition = is_def;
+    if (is_def) {
+      fn.body_begin = j;
+      fn.body_end = find_matching(t_, j, "{", "}");
+      if (fn.body_end >= t_.size()) return;
+      analyze_body(fn, i, close);
+    }
+    ix_.functions_.push_back(std::move(fn));
+  }
+
+  /// Parses `(params)` into name -> type (last type identifier before the
+  /// parameter name).
+  std::map<std::string, std::string> parse_params(std::size_t open,
+                                                  std::size_t close) {
+    std::map<std::string, std::string> types;
+    std::size_t start = open + 1;
+    int depth = 0;
+    for (std::size_t j = open + 1; j <= close; ++j) {
+      if (is_p(t_[j], "(") || is_p(t_[j], "<") || is_p(t_[j], "[")) ++depth;
+      else if (is_p(t_[j], ")") || is_p(t_[j], ">") || is_p(t_[j], "]"))
+        --depth;
+      if ((j == close && depth < 0) || (depth == 0 && is_p(t_[j], ","))) {
+        // One parameter in [start, j): name = last identifier, type = last
+        // identifier before the name (skipping cv/ref tokens).
+        std::size_t name_tok = t_.size(), type_tok = t_.size();
+        std::size_t eq = j;
+        for (std::size_t k = start; k < j; ++k)
+          if (is_p(t_[k], "=")) {
+            eq = k;
+            break;
+          }
+        for (std::size_t k = start; k < eq; ++k)
+          if (t_[k].kind == TokKind::Identifier) {
+            type_tok = name_tok;
+            name_tok = k;
+          }
+        if (name_tok < t_.size() && type_tok < t_.size())
+          types[t_[name_tok].text] = t_[type_tok].text;
+        start = j + 1;
+      }
+    }
+    return types;
+  }
+
+  /// Walks backwards from `tok` (an identifier) over a `a.b->c` chain;
+  /// fills root/segments (segments exclude both root and the identifier at
+  /// `tok`). Returns false for non-chain owners (call results, parens).
+  bool walk_chain(std::size_t tok, std::string& root,
+                  std::vector<std::string>& segments) {
+    std::vector<std::string> rev;
+    std::size_t k = tok;
+    while (k >= 2 && (is_p(t_[k - 1], ".") || is_p(t_[k - 1], "->"))) {
+      if (t_[k - 2].kind != TokKind::Identifier) return false;
+      rev.push_back(t_[k - 2].text);
+      k -= 2;
+    }
+    if (rev.empty()) return true;  // bare identifier: no owner chain
+    root = rev.back();
+    segments.assign(rev.rbegin() + 1, rev.rend());
+    return true;
+  }
+
+  void analyze_body(FunctionInfo& fn, std::size_t params_open,
+                    std::size_t params_close) {
+    const std::size_t begin = fn.body_begin, end = fn.body_end;
+    std::map<std::string, std::string> var_types =
+        parse_params(params_open, params_close);
+
+    // Local declarations: `Type [cv/ref] name (=|;|(|{)`.
+    for (std::size_t j = begin + 1; j + 1 < end; ++j) {
+      if (t_[j].kind != TokKind::Identifier || is_expr_keyword(t_[j].text))
+        continue;
+      const std::string& ty = t_[j].text;
+      if (ty == "auto") continue;  // unresolvable, leave unknown
+      std::size_t k = j + 1;
+      while (k < end && is_cv_ref(t_[k])) ++k;
+      if (k < end && t_[k].kind == TokKind::Identifier && k + 1 < end &&
+          (is_p(t_[k + 1], "=") || is_p(t_[k + 1], ";") ||
+           is_p(t_[k + 1], "(") || is_p(t_[k + 1], "{"))) {
+        var_types.emplace(t_[k].text, ty);
+      }
+    }
+
+    // Scope stack for lock lifetimes.
+    std::vector<std::size_t> scope_close;
+    auto enclosing_close = [&](void) -> std::size_t {
+      return scope_close.empty() ? end : scope_close.back();
+    };
+
+    for (std::size_t j = begin + 1; j < end; ++j) {
+      const Token& tok = t_[j];
+      if (is_p(tok, "{")) {
+        scope_close.push_back(find_matching(t_, j, "{", "}"));
+        continue;
+      }
+      while (!scope_close.empty() && j >= scope_close.back())
+        scope_close.pop_back();
+      if (tok.kind != TokKind::Identifier) continue;
+      const std::string& s = tok.text;
+
+      // Lock wrapper: lock_guard/unique_lock/shared_lock/scoped_lock.
+      if (kLockWrappers.count(s) != 0) {
+        std::size_t k = j + 1;
+        if (k < end && is_p(t_[k], "<")) k = find_matching(t_, k, "<", ">") + 1;
+        if (k < end && t_[k].kind == TokKind::Identifier) ++k;  // var name
+        if (k < end && is_p(t_[k], "(")) {
+          const std::size_t args_close = find_matching(t_, k, "(", ")");
+          // scoped_lock with several mutexes acquires atomically
+          // (deadlock-free): skip. Detect a top-level ','.
+          int depth = 0;
+          bool multi = false;
+          std::size_t arg_end = args_close;
+          for (std::size_t m = k + 1; m < args_close; ++m) {
+            if (is_p(t_[m], "(")) ++depth;
+            else if (is_p(t_[m], ")")) --depth;
+            else if (depth == 0 && is_p(t_[m], ",")) {
+              multi = true;
+              arg_end = m;
+              break;
+            }
+          }
+          if (!(multi && s == "scoped_lock")) {
+            record_lock(fn, var_types, k + 1, arg_end, tok.line, j,
+                        enclosing_close());
+          }
+          j = args_close;
+          continue;
+        }
+      }
+
+      // Manual `m.lock()` / `m.lock_shared()`.
+      if ((s == "lock" || s == "lock_shared") && j >= 2 &&
+          (is_p(t_[j - 1], ".") || is_p(t_[j - 1], "->")) &&
+          j + 2 < end && is_p(t_[j + 1], "(") && is_p(t_[j + 2], ")")) {
+        // Owner chain ends at j-2; reuse record_lock over [chain_begin, j-1).
+        std::size_t cb = j - 2;
+        while (cb >= 2 && (is_p(t_[cb - 1], ".") || is_p(t_[cb - 1], "->")) &&
+               t_[cb - 2].kind == TokKind::Identifier)
+          cb -= 2;
+        record_lock(fn, var_types, cb, j - 1, tok.line, j, enclosing_close());
+        j += 2;
+        continue;
+      }
+
+      // Durability markers and file-creation sites.
+      const bool called = j + 1 < end && is_p(t_[j + 1], "(");
+      if (called &&
+          (s == "fsync" || s == "fdatasync" || s == "sync_parent_dir"))
+        fn.contains_sync = true;
+      if (called && s == "open") {
+        const std::size_t close = find_matching(t_, j + 1, "(", ")");
+        for (std::size_t m = j + 2; m < close; ++m)
+          if (is_id(t_[m], "O_CREAT")) {
+            fn.creates.push_back({"open(O_CREAT)", tok.line});
+            break;
+          }
+      }
+      if (called && s == "rename")
+        fn.creates.push_back({"rename", tok.line});
+      if (called && s == "create_directories")
+        fn.creates.push_back({"create_directories", tok.line});
+
+      // try blocks and catch-all handlers.
+      if (s == "try" && j + 1 < end && is_p(t_[j + 1], "{")) {
+        TryRange tr;
+        tr.begin = j + 1;
+        tr.end = find_matching(t_, j + 1, "{", "}");
+        std::size_t k = tr.end + 1;
+        while (k + 1 < end && is_id(t_[k], "catch") && is_p(t_[k + 1], "(")) {
+          const std::size_t cc = find_matching(t_, k + 1, "(", ")");
+          if (cc == k + 3 && is_p(t_[k + 2], "...")) tr.catch_all = true;
+          if (cc + 1 < end && is_p(t_[cc + 1], "{"))
+            k = find_matching(t_, cc + 1, "{", "}") + 1;
+          else
+            break;
+        }
+        if (tr.catch_all) fn.has_catch_all = true;
+        fn.tries.push_back(tr);
+        // Do NOT skip the block: calls/locks inside it still matter.
+        continue;
+      }
+
+      // Generic call sites.
+      if (called && !is_expr_keyword(s) && kLockWrappers.count(s) == 0) {
+        CallSite c;
+        c.name = s;
+        c.line = tok.line;
+        c.token = j;
+        c.member_call = j >= 1 && (is_p(t_[j - 1], ".") || is_p(t_[j - 1], "->"));
+        if (c.member_call) {
+          std::string root;
+          std::vector<std::string> segs;
+          if (walk_chain(j, root, segs) && !root.empty()) {
+            c.owner_root = root;
+            c.owner_segments = std::move(segs);
+            if (root == "this") {
+              c.owner_root = "";
+              c.owner_root_type = fn.cls.empty() ? "!" : fn.cls;
+            } else if (auto it = var_types.find(root); it != var_types.end()) {
+              c.owner_root_type = it->second;
+            }
+          }
+        }
+        fn.calls.push_back(std::move(c));
+      }
+    }
+  }
+
+  /// Records one lock acquisition whose mutex expression spans tokens
+  /// [expr_begin, expr_end).
+  void record_lock(FunctionInfo& fn,
+                   const std::map<std::string, std::string>& var_types,
+                   std::size_t expr_begin, std::size_t expr_end, int line,
+                   std::size_t site_tok, std::size_t scope_end) {
+    // Strip leading dereference/address-of tokens.
+    std::size_t b = expr_begin;
+    while (b < expr_end && (is_p(t_[b], "*") || is_p(t_[b], "&"))) ++b;
+    std::vector<std::string> segments;
+    for (std::size_t k = b; k < expr_end; ++k) {
+      if (t_[k].kind == TokKind::Identifier) {
+        if (t_[k].text == "this") continue;
+        segments.push_back(t_[k].text);
+      } else if (!is_p(t_[k], ".") && !is_p(t_[k], "->") &&
+                 !is_p(t_[k], "(") && !is_p(t_[k], ")") && !is_p(t_[k], "*")) {
+        return;  // complex expression: not a recognizable mutex chain
+      }
+    }
+    if (segments.empty()) return;
+    const std::string& member = segments.back();
+    std::string owner_cls;
+    if (segments.size() == 1) {
+      // Bare member (or a local mutex). If the enclosing class is known,
+      // qualify with it; a local mutex in a member function is rare enough
+      // that the over-approximation is acceptable.
+      owner_cls = fn.cls;
+    } else {
+      const std::string& root = segments.front();
+      if (auto it = var_types.find(root); it != var_types.end())
+        owner_cls = it->second;
+    }
+    LockSite ls;
+    ls.lock_id = (owner_cls.empty() ? stem_ : owner_cls) + "::" + member;
+    ls.line = line;
+    ls.token = site_tok;
+    ls.scope_end = scope_end;
+    fn.locks.push_back(std::move(ls));
+  }
+
+  ProjectIndex& ix_;
+  const ScannedFile& f_;
+  const Tokens& t_;
+  std::string stem_;
+};
+
+void ProjectIndex::add_file(const ScannedFile& file) {
+  IndexBuilder(*this, file).run();
+}
+
+std::vector<const FunctionInfo*> ProjectIndex::functions_in(
+    const std::string& path) const {
+  std::vector<const FunctionInfo*> out;
+  const auto it = by_path_.find(path);
+  if (it == by_path_.end()) return out;
+  for (std::size_t i : it->second) out.push_back(&functions_[i]);
+  return out;
+}
+
+std::vector<const FunctionInfo*> ProjectIndex::functions_named(
+    const std::string& base) const {
+  std::vector<const FunctionInfo*> out;
+  const auto it = by_base_.find(base);
+  if (it == by_base_.end()) return out;
+  for (std::size_t i : it->second) out.push_back(&functions_[i]);
+  return out;
+}
+
+bool ProjectIndex::is_noexcept(const std::string& qualified) const {
+  for (const FunctionInfo& fn : functions_)
+    if (fn.qualified == qualified && fn.is_noexcept) return true;
+  return false;
+}
+
+bool ProjectIndex::has_catch_all(const std::string& qualified) const {
+  for (const FunctionInfo& fn : functions_)
+    if (fn.qualified == qualified && fn.has_catch_all) return true;
+  return false;
+}
+
+bool ProjectIndex::reaches_sync(const std::string& base) const {
+  return sync_reaching_.count(base) != 0;
+}
+
+std::set<std::string> ProjectIndex::locks_of(const std::string& base) const {
+  const auto it = lock_closure_.find(base);
+  return it == lock_closure_.end() ? std::set<std::string>() : it->second;
+}
+
+void ProjectIndex::finalize() {
+  // Resolve member types against the complete class list.
+  member_types_.clear();
+  for (const auto& [cls, members] : member_type_ids_) {
+    for (const auto& [name, ids] : members) {
+      std::string resolved = "!";
+      for (const std::string& id : ids)
+        if (classes_.count(id) != 0) resolved = id;
+      member_types_[cls][name] = resolved;
+    }
+  }
+
+  by_base_.clear();
+  by_path_.clear();
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    by_base_[functions_[i].base].push_back(i);
+    by_path_[functions_[i].path].push_back(i);
+  }
+
+  // Candidate definitions for a call site. Member calls with a fully
+  // resolved owner chain bind to that class only (so `shards_.find(...)` on
+  // a std::map member resolves to nothing, not to Collection::find); calls
+  // with unresolvable owners fall back to every same-named definition.
+  auto candidates = [this](const FunctionInfo& fn,
+                           const CallSite& c) -> std::vector<std::size_t> {
+    std::vector<std::size_t> out;
+    const auto it = by_base_.find(c.name);
+    if (it == by_base_.end()) return out;
+    std::string type;
+    bool resolved = false;
+    if (c.member_call) {
+      type = c.owner_root_type;
+      if (type.empty() && !c.owner_root.empty()) {
+        // Maybe a data member of the enclosing class.
+        const auto ci = member_types_.find(fn.cls);
+        if (ci != member_types_.end()) {
+          const auto mi = ci->second.find(c.owner_root);
+          if (mi != ci->second.end()) type = mi->second;
+        }
+      }
+      if (!type.empty()) {
+        resolved = true;
+        for (const std::string& seg : c.owner_segments) {
+          if (type == "!" || classes_.count(type) == 0) {
+            type = "!";
+            break;
+          }
+          const auto ci = member_types_.find(type);
+          std::string next = "!";
+          if (ci != member_types_.end()) {
+            const auto mi = ci->second.find(seg);
+            if (mi != ci->second.end()) next = mi->second;
+          }
+          type = next;
+        }
+        // A type name we know but that is not a project class (std::string,
+        // std::map, ...) binds to nothing — falling back to every same-named
+        // definition here would invent call edges like `text.find(...)` ->
+        // Collection::find and, from them, false lock-order cycles.
+        if (classes_.count(type) == 0) type = "!";
+      }
+    }
+    for (std::size_t i : it->second) {
+      if (!functions_[i].is_definition) continue;
+      if (c.member_call && resolved) {
+        if (type == "!" || functions_[i].cls != type) continue;
+      }
+      out.push_back(i);
+    }
+    return out;
+  };
+
+  // Fixpoint 1: functions that transitively reach a durability call.
+  std::vector<char> reach(functions_.size(), 0);
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    reach[i] = functions_[i].contains_sync ? 1 : 0;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      if (reach[i] || !functions_[i].is_definition) continue;
+      for (const CallSite& c : functions_[i].calls) {
+        for (std::size_t k : candidates(functions_[i], c))
+          if (reach[k]) {
+            reach[i] = 1;
+            changed = true;
+            break;
+          }
+        if (reach[i]) break;
+      }
+    }
+  }
+  sync_reaching_.clear();
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    if (reach[i]) sync_reaching_.insert(functions_[i].base);
+
+  // Fixpoint 2: transitive lock sets per function (then folded per base
+  // name, matching the over-approximate call resolution).
+  std::vector<std::set<std::string>> locks(functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    for (const LockSite& l : functions_[i].locks) locks[i].insert(l.lock_id);
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      if (!functions_[i].is_definition) continue;
+      for (const CallSite& c : functions_[i].calls) {
+        for (std::size_t k : candidates(functions_[i], c)) {
+          for (const std::string& id : locks[k])
+            if (locks[i].insert(id).second) changed = true;
+        }
+      }
+    }
+  }
+  lock_closure_.clear();
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    lock_closure_[functions_[i].base].insert(locks[i].begin(),
+                                             locks[i].end());
+
+  // Acquires-while-holding edges: lock L held (within its scope) when lock
+  // M is taken directly, or when a call is made whose (transitive) lock set
+  // contains M.
+  lock_edges_.clear();
+  auto suppressed_at = [this](const std::string& path, int line) {
+    const auto it = lock_order_ok_.find(path);
+    return it != lock_order_ok_.end() && it->second.count(line) != 0;
+  };
+  for (const FunctionInfo& fn : functions_) {
+    if (!fn.is_definition) continue;
+    for (const LockSite& l : fn.locks) {
+      const bool l_ok = suppressed_at(fn.path, l.line);
+      for (const LockSite& m : fn.locks) {
+        if (m.token <= l.token || m.token >= l.scope_end) continue;
+        if (m.lock_id == l.lock_id) continue;
+        LockEdgeWitness w;
+        w.path = fn.path;
+        w.line = m.line;
+        w.function = fn.qualified;
+        w.detail = "'" + l.lock_id + "' held when '" + m.lock_id +
+                   "' is acquired";
+        w.suppressed = l_ok || suppressed_at(fn.path, m.line);
+        lock_edges_[{l.lock_id, m.lock_id}].push_back(std::move(w));
+      }
+      for (const CallSite& c : fn.calls) {
+        if (c.token <= l.token || c.token >= l.scope_end) continue;
+        std::set<std::string> acquired;
+        for (std::size_t k : candidates(fn, c))
+          acquired.insert(locks[k].begin(), locks[k].end());
+        for (const std::string& id : acquired) {
+          if (id == l.lock_id) continue;
+          LockEdgeWitness w;
+          w.path = fn.path;
+          w.line = c.line;
+          w.function = fn.qualified;
+          w.detail = "'" + l.lock_id + "' held across call to '" + c.name +
+                     "' which (transitively) acquires '" + id + "'";
+          w.suppressed = l_ok || suppressed_at(fn.path, c.line);
+          lock_edges_[{l.lock_id, id}].push_back(std::move(w));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gptc::lint
