@@ -1,0 +1,295 @@
+// bench_server — load generator for the crowd-repo server (src/net).
+//
+// Starts an in-process CrowdServer on an ephemeral port over a durable
+// repository with async group commit (the production serving mode), then
+// drives it with N client connections:
+//
+//   closed-loop (default): every connection issues its next request the
+//     moment the previous response lands — measures peak throughput;
+//   open-loop (--rate R): requests are paced to a target aggregate rate
+//     and latency is measured from the *intended* send time, so queueing
+//     delay is charged to the server (no coordinated omission).
+//
+// Modes: write (batched uploads, durability-acked), read (indexed
+// query_evaluations), mixed (half the connections each).
+//
+//   bench_server [--seconds S] [--connections N] [--workers W]
+//                [--mode write|read|mixed] [--batch B] [--rate R]
+//                [--dir PATH] [--smoke]
+//
+// Prints ops/s, records/s, and p50/p90/p99 latency per op class.
+// --smoke exits nonzero when any request errored or throughput was zero —
+// CI runs a short smoke against the sanitizer build.
+//
+// This is a benchmark harness, not library code: it lives outside the
+// lint perimeter and uses wall clocks and OS randomness freely.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crowd/repo.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+using namespace gptc;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Args {
+  double seconds = 5.0;
+  std::size_t connections = 8;
+  std::size_t workers = 8;
+  std::string mode = "write";
+  std::size_t batch = 16;
+  double rate = 0.0;  // aggregate ops/s; 0 = closed loop
+  std::string dir;
+  bool smoke = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_server: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seconds") a.seconds = std::stod(next());
+    else if (arg == "--connections") a.connections = std::stoul(next());
+    else if (arg == "--workers") a.workers = std::stoul(next());
+    else if (arg == "--mode") a.mode = next();
+    else if (arg == "--batch") a.batch = std::stoul(next());
+    else if (arg == "--rate") a.rate = std::stod(next());
+    else if (arg == "--dir") a.dir = next();
+    else if (arg == "--smoke") a.smoke = true;
+    else {
+      std::fprintf(stderr, "bench_server: unknown arg %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (a.mode != "write" && a.mode != "read" && a.mode != "mixed") {
+    std::fprintf(stderr, "bench_server: --mode must be write|read|mixed\n");
+    std::exit(2);
+  }
+  if (a.connections == 0) a.connections = 1;
+  if (a.batch == 0) a.batch = 1;
+  return a;
+}
+
+struct ThreadResult {
+  std::vector<double> latencies_us;
+  std::uint64_t ops = 0;
+  std::uint64_t records = 0;
+  std::uint64_t errors = 0;
+};
+
+crowd::EvalUpload make_eval(std::uint64_t i) {
+  crowd::EvalUpload e;
+  e.task_parameters = json::Json::object();
+  e.task_parameters["m"] = static_cast<std::int64_t>(1000 + i % 7);
+  e.task_parameters["n"] = static_cast<std::int64_t>(1000 + i % 5);
+  e.tuning_parameters = json::Json::object();
+  e.tuning_parameters["mb"] = static_cast<std::int64_t>(i % 32);
+  e.tuning_parameters["nb"] = static_cast<std::int64_t>((i / 32) % 32);
+  e.output = 1.0 + static_cast<double>(i % 100) / 100.0;
+  e.machine_configuration = json::Json::object();
+  e.machine_configuration["machine_name"] = "cori";
+  return e;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+void report(const char* label, std::vector<ThreadResult>& results,
+            double elapsed_s) {
+  std::vector<double> lat;
+  std::uint64_t ops = 0, records = 0, errors = 0;
+  for (ThreadResult& r : results) {
+    lat.insert(lat.end(), r.latencies_us.begin(), r.latencies_us.end());
+    ops += r.ops;
+    records += r.records;
+    errors += r.errors;
+  }
+  if (ops == 0 && errors == 0) return;
+  std::printf(
+      "%-6s ops=%llu records=%llu errors=%llu throughput=%.0f ops/s "
+      "records/s=%.0f p50=%.0fus p90=%.0fus p99=%.0fus\n",
+      label, static_cast<unsigned long long>(ops),
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(errors),
+      static_cast<double>(ops) / elapsed_s,
+      static_cast<double>(records) / elapsed_s, percentile(lat, 0.50),
+      percentile(lat, 0.90), percentile(lat, 0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  // Repository directory: --dir or a fresh temp dir (removed on success).
+  std::string dir = args.dir;
+  bool own_dir = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/bench_server.XXXXXX";
+    if (!mkdtemp(tmpl)) {
+      std::perror("bench_server: mkdtemp");
+      return 1;
+    }
+    dir = tmpl;
+    own_dir = true;
+  }
+
+  db::engine::EngineOptions eo;
+  eo.async_commit = true;
+  // The 1 MiB default checkpoint threshold is tuned for CLI workloads; at
+  // server ingest rates it would snapshot (O(collection size)) every few
+  // batches and turn the run quadratic. Checkpoint at 256 MiB instead.
+  eo.checkpoint_wal_bytes = 256u << 20;
+  crowd::SharedRepo repo = crowd::SharedRepo::open_durable(dir, 42, eo);
+  const std::string api_key = repo.register_user("bench", "bench@local");
+  repo.add_machine_alias("Cori", {"cori"});
+
+  // Seed records so read-mode queries have an indexed partition to hit.
+  {
+    std::vector<crowd::EvalUpload> seed;
+    for (std::uint64_t i = 0; i < 256; ++i) seed.push_back(make_eval(i));
+    const auto receipt = repo.upload_batch(api_key, "bench_problem", seed);
+    repo.wait_uploads_durable(receipt.commit_seq);
+  }
+
+  net::ServerOptions so;
+  so.port = 0;
+  so.workers = args.workers;
+  so.max_connections = args.connections + 8;
+  net::CrowdServer server(repo, so);
+  server.start();
+  std::printf(
+      "bench_server: port=%u mode=%s connections=%zu workers=%zu batch=%zu "
+      "rate=%.0f seconds=%.1f\n",
+      server.port(), args.mode.c_str(), args.connections, args.workers,
+      args.batch, args.rate, args.seconds);
+
+  std::atomic<bool> stop{false};
+  std::vector<ThreadResult> write_results(args.connections);
+  std::vector<ThreadResult> read_results(args.connections);
+  std::vector<std::thread> threads;
+
+  const Clock::time_point t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(args.seconds));
+
+  for (std::size_t t = 0; t < args.connections; ++t) {
+    const bool writer =
+        args.mode == "write" || (args.mode == "mixed" && t % 2 == 0);
+    threads.emplace_back([&, t, writer] {
+      ThreadResult& out = writer ? write_results[t] : read_results[t];
+      try {
+        net::CrowdClient client("127.0.0.1", server.port());
+        // Open-loop pacing: this thread owns every rate/connections-th slot.
+        const double per_thread_rate =
+            args.rate > 0.0 ? args.rate / static_cast<double>(args.connections)
+                            : 0.0;
+        const auto interval =
+            per_thread_rate > 0.0
+                ? std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(1.0 / per_thread_rate))
+                : Clock::duration::zero();
+        Clock::time_point next_send = Clock::now();
+        std::uint64_t i = t * 1000003;  // de-correlate threads' records
+
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (interval != Clock::duration::zero()) {
+            std::this_thread::sleep_until(next_send);
+          } else {
+            next_send = Clock::now();
+          }
+          const Clock::time_point intended = next_send;
+          try {
+            if (writer) {
+              std::vector<crowd::EvalUpload> batch;
+              batch.reserve(args.batch);
+              for (std::size_t b = 0; b < args.batch; ++b) {
+                batch.push_back(make_eval(i++));
+              }
+              client.upload(api_key, "bench_problem", batch);
+              out.records += batch.size();
+            } else {
+              const auto recs = client.query(
+                  api_key, "bench_problem",
+                  "tuning_parameters.mb = " + std::to_string(i++ % 32) +
+                      " AND tuning_parameters.nb = 7");
+              out.records += recs.size();
+            }
+            out.ops += 1;
+            const double us =
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          intended)
+                    .count();
+            out.latencies_us.push_back(us);
+          } catch (const std::exception& e) {
+            out.errors += 1;
+            if (out.errors == 1) {
+              std::fprintf(stderr, "bench_server: request error: %s\n",
+                           e.what());
+            }
+          }
+          next_send += interval;
+        }
+      } catch (const std::exception& e) {
+        out.errors += 1;
+        std::fprintf(stderr, "bench_server: connection error: %s\n", e.what());
+      }
+    });
+  }
+
+  std::this_thread::sleep_until(deadline);
+  stop.store(true);
+  for (std::thread& th : threads) th.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  report("write", write_results, elapsed_s);
+  report("read", read_results, elapsed_s);
+
+  std::uint64_t total_ops = 0, total_errors = 0;
+  for (const auto* results : {&write_results, &read_results}) {
+    for (const ThreadResult& r : *results) {
+      total_ops += r.ops;
+      total_errors += r.errors;
+    }
+  }
+
+  server.stop();
+  repo.sync();
+  if (own_dir) std::filesystem::remove_all(dir);
+
+  if (args.smoke && (total_ops == 0 || total_errors != 0)) {
+    std::fprintf(stderr,
+                 "bench_server: SMOKE FAILED (ops=%llu errors=%llu)\n",
+                 static_cast<unsigned long long>(total_ops),
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  if (args.smoke) std::printf("bench_server: smoke ok\n");
+  return 0;
+}

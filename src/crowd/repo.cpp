@@ -232,11 +232,9 @@ std::string SharedRepo::require_user(const std::string& api_key) const {
   return *user;
 }
 
-std::int64_t SharedRepo::upload(const std::string& api_key,
-                                const std::string& problem_name,
-                                const EvalUpload& e) {
-  const std::string user = require_user(api_key);
-
+json::Json SharedRepo::build_record(const std::string& user,
+                                    const std::string& problem_name,
+                                    const EvalUpload& e) const {
   Json record = Json::object();
   record["problem"] = problem_name;
   record["user"] = user;
@@ -263,8 +261,33 @@ std::int64_t SharedRepo::upload(const std::string& api_key,
       software[normalize_software(name)] = spec;
   }
   record["software_configuration"] = std::move(software);
+  return record;
+}
 
-  return store_.collection("func_eval").insert(std::move(record));
+std::int64_t SharedRepo::upload(const std::string& api_key,
+                                const std::string& problem_name,
+                                const EvalUpload& e) {
+  const std::string user = require_user(api_key);
+  return store_.collection("func_eval")
+      .insert(build_record(user, problem_name, e));
+}
+
+SharedRepo::UploadReceipt SharedRepo::upload_batch(
+    const std::string& api_key, const std::string& problem_name,
+    const std::vector<EvalUpload>& evals) {
+  const std::string user = require_user(api_key);
+  std::vector<Json> records;
+  records.reserve(evals.size());
+  for (const auto& e : evals)
+    records.push_back(build_record(user, problem_name, e));
+  const auto batch =
+      store_.collection("func_eval").insert_batch(std::move(records));
+  return UploadReceipt{batch.ids, batch.commit_seq};
+}
+
+void SharedRepo::wait_uploads_durable(std::uint64_t commit_seq) {
+  if (commit_seq == 0 || !store_.durable()) return;
+  store_.storage_engine()->wait_durable("func_eval", commit_seq);
 }
 
 bool SharedRepo::record_visible(const Json& record,
@@ -366,15 +389,17 @@ std::vector<Json> SharedRepo::query_function_evaluations(
   if (!evals) return out;
   // Partition by problem name through the store's query planner: with the
   // default indexes declared this is an index lookup instead of a full
-  // scan, and find() returns insertion order either way, so results are
-  // byte-identical with indexes on or off.
+  // scan, and results come back in insertion order either way, so they
+  // are byte-identical with indexes on or off. The visibility and meta
+  // filters run inside the collection's shared lock via find_filtered so
+  // only actual hits are copied out — find() would materialise the whole
+  // problem partition first, which dominates query latency once the
+  // partition is large relative to the hit count.
   Json q = Json::object();
   q["problem"] = meta.tuning_problem_name;
-  for (const auto& record : evals->find(q)) {
-    if (!record_visible(record, user)) continue;
-    if (!record_matches_meta(record, meta)) continue;
-    out.push_back(record);
-  }
+  out = evals->find_filtered(q, [&](const Json& record) {
+    return record_visible(record, user) && record_matches_meta(record, meta);
+  });
   return out;
 }
 
@@ -388,11 +413,9 @@ std::vector<Json> SharedRepo::query_where(const std::string& api_key,
   if (!evals) return out;
   Json q = Json::object();
   q["problem"] = problem_name;
-  for (const auto& record : evals->find(q)) {
-    if (!record_visible(record, user)) continue;
-    if (!db::matches(record, condition)) continue;
-    out.push_back(record);
-  }
+  out = evals->find_filtered(q, [&](const Json& record) {
+    return record_visible(record, user) && db::matches(record, condition);
+  });
   return out;
 }
 

@@ -96,6 +96,28 @@ class SharedRepo {
   std::int64_t upload(const std::string& api_key,
                       const std::string& problem_name, const EvalUpload& e);
 
+  /// Receipt for a batch upload: record ids plus the WAL commit sequence
+  /// to pass to wait_uploads_durable for a durability ack (0 when the
+  /// repository is not durable).
+  struct UploadReceipt {
+    std::vector<std::int64_t> ids;
+    std::uint64_t commit_seq = 0;
+  };
+
+  /// Uploads a batch of evaluations atomically: all records are inserted
+  /// under one collection writer lock, so concurrent readers observe
+  /// either none or all of the batch (the server's multi-record upload
+  /// endpoint). Authentication happens once for the whole batch.
+  UploadReceipt upload_batch(const std::string& api_key,
+                             const std::string& problem_name,
+                             const std::vector<EvalUpload>& evals);
+
+  /// Blocks until every record of a receipt is durable (WAL fsync or
+  /// covering snapshot). No-op for non-durable repositories and for
+  /// commit_seq 0. With async group commit this is where the server's
+  /// upload ack waits; see db::engine::GroupCommitter.
+  void wait_uploads_durable(std::uint64_t commit_seq);
+
   /// All records matching a meta description and visible to its API key's
   /// user. This is the paper's QueryFunctionEvaluations.
   std::vector<json::Json> query_function_evaluations(
@@ -179,6 +201,9 @@ class SharedRepo {
  private:
   std::string random_token(std::size_t length, std::uint64_t stream_tag);
   std::string generate_api_key();
+  json::Json build_record(const std::string& user,
+                          const std::string& problem_name,
+                          const EvalUpload& e) const;
   bool record_visible(const json::Json& record,
                       const std::string& username) const;
   bool record_matches_meta(const json::Json& record,

@@ -158,6 +158,43 @@ std::int64_t Collection::insert(Json document) {
   return id;
 }
 
+Collection::BatchInsert Collection::insert_batch(std::vector<Json> documents) {
+  for (const auto& d : documents)
+    if (!d.is_object())
+      throw json::JsonError(
+          "Collection::insert_batch: every document must be an object");
+  BatchInsert out;
+  if (documents.empty()) return out;
+  out.ids.reserve(documents.size());
+
+  std::unique_lock lock(*mu_);
+  // Assign ids, then WAL-log the whole batch as ONE record before applying
+  // any of it. A single frame makes the batch crash-atomic: recovery
+  // replays it whole or — when a power loss truncated the log before the
+  // frame was synced — not at all, never a partial batch. Application
+  // under the same exclusive lock gives readers the same none-or-all view.
+  for (std::size_t i = 0; i < documents.size(); ++i)
+    documents[i]["_id"] = next_id_ + static_cast<std::int64_t>(i);
+  if (engine_) {
+    Json batch = Json::array();
+    for (const auto& d : documents) batch.as_array().push_back(d);
+    Json op = Json::object();
+    op["o"] = "b";
+    op["ds"] = std::move(batch);
+    out.commit_seq = engine_->log_op(*this, op);
+  }
+  for (auto& d : documents) {
+    const std::int64_t id = d.at("_id").as_int();
+    out.ids.push_back(id);
+    next_id_ = id + 1;
+    id_pos_[id] = docs_.size();
+    index_doc(d);
+    docs_.push_back(std::move(d));
+  }
+  if (engine_) engine_->maybe_checkpoint(*this);
+  return out;
+}
+
 std::optional<std::vector<std::int64_t>> Collection::plan(
     const Json& query) const {
   if (indexes_.empty() || !query.is_object()) return std::nullopt;
@@ -190,6 +227,22 @@ std::vector<Json> Collection::find(const Json& query) const {
   }
   for (const auto& d : docs_)
     if (matches(d, query)) out.push_back(d);
+  return out;
+}
+
+std::vector<Json> Collection::find_filtered(
+    const Json& query, const std::function<bool(const Json&)>& pred) const {
+  std::shared_lock lock(*mu_);
+  std::vector<Json> out;
+  if (const auto ids = plan(query)) {
+    for (const std::int64_t id : *ids) {
+      const Json* d = doc_by_id(id);
+      if (d && matches(*d, query) && pred(*d)) out.push_back(*d);
+    }
+    return out;
+  }
+  for (const auto& d : docs_)
+    if (matches(d, query) && pred(d)) out.push_back(d);
   return out;
 }
 
@@ -359,6 +412,9 @@ void Collection::apply_op(const Json& op) {
   const std::string& kind = op.at("o").as_string();
   if (kind == "i") {
     replay_insert(op.at("d"));
+  } else if (kind == "b") {
+    // insert_batch: one frame, applied whole (batch crash atomicity).
+    for (const auto& d : op.at("ds").as_array()) replay_insert(d);
   } else if (kind == "u") {
     // Public update(): the engine's replay flag suppresses re-logging.
     update(op.at("q"), op.at("u"));

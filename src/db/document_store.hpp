@@ -74,8 +74,34 @@ class Collection {
   /// "_id". In durable mode the op is WAL-logged before it is applied.
   std::int64_t insert(Json document);
 
+  /// Result of an atomic batch insert: the assigned ids plus the WAL
+  /// sequence of the batch record (0 when the store is not durable) — the
+  /// token a caller hands to StorageEngine::wait_durable for a durability
+  /// ack.
+  struct BatchInsert {
+    std::vector<std::int64_t> ids;
+    std::uint64_t commit_seq = 0;
+  };
+
+  /// Inserts every document under ONE writer lock, WAL-logged as ONE
+  /// record before any is applied. Readers — who take the shared lock —
+  /// can never observe a half-applied batch, and because the whole batch
+  /// is a single WAL frame, crash recovery replays it entirely or not at
+  /// all (never a partial batch). Throws before any mutation if a
+  /// document is not an object.
+  BatchInsert insert_batch(std::vector<Json> documents);
+
   /// All documents matching the query, in insertion order.
   std::vector<Json> find(const Json& query) const;
+
+  /// Like find(), but additionally applies `pred` to each query match
+  /// while still holding the shared lock, copying only documents that
+  /// pass both. Callers filtering an indexed partition down to a few
+  /// hits avoid materialising the whole partition (find() copies every
+  /// candidate's JSON tree; on hot read paths that copy dominates the
+  /// query cost). `pred` must not call back into the collection.
+  std::vector<Json> find_filtered(
+      const Json& query, const std::function<bool(const Json&)>& pred) const;
 
   /// First match or null Json.
   Json find_one(const Json& query) const;

@@ -1,0 +1,155 @@
+#include "db/engine/commit.hpp"
+
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "db/engine/wal.hpp"
+
+namespace gptc::db::engine {
+
+GroupCommitter::GroupCommitter(FaultInjector* fault) : fault_(fault) {
+  thread_ = std::thread([this] { run(); });
+}
+
+GroupCommitter::~GroupCommitter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  thread_.join();
+}
+
+void GroupCommitter::attach(const std::string& shard, WalWriter* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_[shard].wal = wal;
+}
+
+void GroupCommitter::notify_logged(const std::string& shard,
+                                   std::uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ShardState& s = shards_[shard];
+    if (seq > s.logged) s.logged = seq;
+  }
+  work_cv_.notify_one();
+}
+
+void GroupCommitter::mark_durable(const std::string& shard,
+                                  std::uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ShardState& s = shards_[shard];
+    if (seq > s.durable) s.durable = seq;
+    if (seq > s.logged) s.logged = seq;
+  }
+  done_cv_.notify_all();
+}
+
+void GroupCommitter::wait_durable(const std::string& shard,
+                                  std::uint64_t seq) {
+  if (seq == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.notify_one();
+  done_cv_.wait(lock, [&] {
+    const auto it = shards_.find(shard);
+    return crashed_ || stop_ || (it != shards_.end() && it->second.durable >= seq);
+  });
+  // A request whose fsync completed before the crash still acks: durability
+  // was reached, whatever happened to later batches.
+  const auto it = shards_.find(shard);
+  if (it != shards_.end() && it->second.durable >= seq) return;
+  if (crashed_) throw CrashInjected(crash_reason_);
+  throw std::runtime_error("group commit: committer stopped before seq " +
+                           std::to_string(seq) + " of '" + shard +
+                           "' became durable");
+}
+
+bool GroupCommitter::commit_pending(bool fire_fault) {
+  // Snapshot the work list under the lock; fsync outside it so appenders
+  // (who take mu_ in notify_logged) never wait on disk latency.
+  std::vector<std::pair<std::string, std::uint64_t>> work;
+  std::vector<WalWriter*> wals;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, s] : shards_) {
+      if (s.wal != nullptr && s.logged > s.durable) {
+        work.emplace_back(name, s.logged);
+        wals.push_back(s.wal);
+      }
+    }
+  }
+  if (work.empty()) return true;
+
+  if (fire_fault && fault_ && fault_->fire(FaultPoint::CommitFsync)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = true;
+    crash_reason_ =
+        "injected crash in group-commit thread before batch fsync";
+    return false;
+  }
+
+  std::string error;
+  std::size_t synced = 0;
+  for (; synced < wals.size(); ++synced) {
+    try {
+      wals[synced]->sync();
+    } catch (const std::exception& e) {
+      error = e.what();
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < synced; ++i) {
+      ShardState& s = shards_[work[i].first];
+      if (work[i].second > s.durable) s.durable = work[i].second;
+    }
+    if (!error.empty()) {
+      crashed_ = true;
+      crash_reason_ = "group commit: " + error;
+    }
+  }
+  return error.empty();
+}
+
+void GroupCommitter::run() noexcept {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        if (stop_ || crashed_) return true;
+        for (const auto& [name, s] : shards_) {
+          (void)name;
+          if (s.wal != nullptr && s.logged > s.durable) return true;
+        }
+        return false;
+      });
+      if (stop_ || crashed_) break;
+    }
+    const bool ok = commit_pending(/*fire_fault=*/true);
+    done_cv_.notify_all();
+    if (!ok) break;  // crashed: leave remaining waiters to the throw path
+  }
+  done_cv_.notify_all();
+}
+
+void GroupCommitter::flush_all() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) throw CrashInjected(crash_reason_);
+  }
+  // The caller pays the fsync itself (an explicit DocumentStore::sync()
+  // wants durability *now*, not at the commit thread's leisure); the armed
+  // fault stays reserved for the background thread's batches.
+  if (!commit_pending(/*fire_fault=*/false)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    throw CrashInjected(crash_reason_);
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace gptc::db::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -20,6 +21,15 @@ StorageEngine::StorageEngine(std::filesystem::path dir, EngineOptions opts)
   // Make the engine directory's own entry durable, or a crash right after
   // creation can take the whole directory (and its fsynced files) with it.
   sync_parent_dir(dir_);
+  if (opts_.async_commit)
+    committer_ = std::make_unique<GroupCommitter>(opts_.fault);
+}
+
+std::size_t StorageEngine::inline_group_commit() const {
+  // Async mode: the WalWriter never fsyncs on its own — the commit thread
+  // owns every fsync, so durability acks map 1:1 to its batches.
+  return opts_.async_commit ? std::numeric_limits<std::size_t>::max()
+                            : opts_.group_commit;
 }
 
 void StorageEngine::recover(DocumentStore& store) {
@@ -107,11 +117,17 @@ void StorageEngine::recover(DocumentStore& store) {
 
     Shard shard;
     shard.wal = std::make_unique<WalWriter>(wal_path, wal_format(),
-                                            opts_.group_commit, next_seq,
+                                            inline_group_commit(), next_seq,
                                             replay.valid_bytes, opts_.fault);
     {
       std::lock_guard<std::mutex> lock(shards_mu_);
-      shards_.emplace(name, std::move(shard));
+      auto [it, inserted] = shards_.emplace(name, std::move(shard));
+      (void)inserted;
+      if (committer_) {
+        committer_->attach(name, it->second.wal.get());
+        // Everything replayed is already on disk.
+        committer_->mark_durable(name, next_seq - 1);
+      }
     }
     if (from_legacy_export) {
       checkpoint_locked(c);
@@ -133,16 +149,50 @@ StorageEngine::Shard& StorageEngine::shard_for(const std::string& name) {
   if (it == shards_.end()) {
     Shard shard;
     shard.wal = std::make_unique<WalWriter>(
-        dir_ / (name + ".wal"), wal_format(), opts_.group_commit,
+        dir_ / (name + ".wal"), wal_format(), inline_group_commit(),
         /*next_seq=*/1, /*existing_bytes=*/0, opts_.fault);
     it = shards_.emplace(name, std::move(shard)).first;
+    if (committer_) committer_->attach(name, it->second.wal.get());
   }
   return it->second;
 }
 
-void StorageEngine::log_op(Collection& c, const Json& op) {
-  if (replaying_) return;
-  shard_for(c.name()).wal->append(op);
+std::uint64_t StorageEngine::log_op(Collection& c, const Json& op) {
+  if (replaying_) return 0;
+  const std::uint64_t seq = shard_for(c.name()).wal->append(op);
+  if (committer_) committer_->notify_logged(c.name(), seq);
+  return seq;
+}
+
+std::uint64_t StorageEngine::last_logged_seq(
+    const std::string& collection) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  const auto it = shards_.find(collection);
+  return it == shards_.end() ? 0 : it->second.wal->next_seq() - 1;
+}
+
+void StorageEngine::wait_durable(const std::string& collection,
+                                 std::uint64_t seq) {
+  if (seq == 0) return;
+  if (committer_) {
+    committer_->wait_durable(collection, seq);
+    return;
+  }
+  WalWriter* wal = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    const auto it = shards_.find(collection);
+    if (it == shards_.end()) return;
+    wal = it->second.wal.get();
+  }
+  wal->sync();
+}
+
+std::uint64_t StorageEngine::wal_synced_bytes(
+    const std::string& collection) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  const auto it = shards_.find(collection);
+  return it == shards_.end() ? 0 : it->second.wal->synced_bytes();
 }
 
 void StorageEngine::maybe_checkpoint(Collection& c) {
@@ -163,9 +213,16 @@ void StorageEngine::checkpoint_locked(Collection& c) {
                  opts_.fault);
   // The snapshot now covers every logged record: compact the WAL away.
   shard.wal->reset();
+  // The snapshot was fsynced before its rename, so everything up to
+  // last_seq is durable without a WAL fsync — release any waiters.
+  if (committer_) committer_->mark_durable(c.name(), last_seq);
 }
 
 void StorageEngine::sync() {
+  if (committer_) {
+    committer_->flush_all();
+    return;
+  }
   std::lock_guard<std::mutex> lock(shards_mu_);
   for (auto& [name, shard] : shards_) {
     (void)name;

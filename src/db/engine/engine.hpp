@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "db/engine/commit.hpp"
 #include "db/engine/fault.hpp"
 #include "db/engine/siphash.hpp"
 #include "db/engine/wal.hpp"
@@ -50,11 +51,17 @@ namespace gptc::db::engine {
 
 struct EngineOptions {
   /// fsync once per this many WAL appends (group commit); 1 = every append.
+  /// Ignored when async_commit is on (the commit thread batches instead).
   std::size_t group_commit = 16;
   /// Checkpoint (snapshot + WAL truncation) when a shard's WAL exceeds this.
   std::uint64_t checkpoint_wal_bytes = 1u << 20;
   /// Keyed SipHash WAL checksums instead of CRC32 (see wal.hpp).
   std::optional<SipHashKey> wal_checksum_key;
+  /// Asynchronous group commit (commit.hpp): appends never fsync inline; a
+  /// dedicated commit thread batches fsyncs across writers, and callers
+  /// that need a durability ack block in wait_durable(). This is the mode
+  /// the network server runs in.
+  bool async_commit = false;
   /// Test hook; not owned, may be nullptr.
   FaultInjector* fault = nullptr;
 };
@@ -83,10 +90,24 @@ class StorageEngine {
     return recovery_warnings_;
   }
 
-  /// Appends one op frame for `c`'s shard. Called by Collection mutators
-  /// under their writer lock, before the op is applied in memory. No-op
-  /// while replaying.
-  void log_op(Collection& c, const json::Json& op);
+  /// Appends one op frame for `c`'s shard and returns its WAL sequence
+  /// number (0 while replaying). Called by Collection mutators under their
+  /// writer lock, before the op is applied in memory.
+  std::uint64_t log_op(Collection& c, const json::Json& op);
+
+  /// Highest WAL sequence logged for `collection` (0 if no shard yet).
+  std::uint64_t last_logged_seq(const std::string& collection) const;
+
+  /// Blocks until every op of `collection` with sequence <= `seq` is
+  /// durable (fsynced WAL frames or a covering snapshot). With
+  /// async_commit this waits on the commit thread and throws CrashInjected
+  /// if it hit an armed fault; otherwise it fsyncs the shard inline. The
+  /// server acks uploads only after this returns. seq 0 is a no-op.
+  void wait_durable(const std::string& collection, std::uint64_t seq);
+
+  /// WAL bytes known durable (last fsync) for one shard — the offset crash
+  /// tests truncate to when modelling a power loss.
+  std::uint64_t wal_synced_bytes(const std::string& collection) const;
 
   /// Checkpoints `c` if its WAL crossed the threshold. Called by Collection
   /// mutators under their writer lock, after the op is applied.
@@ -107,6 +128,9 @@ class StorageEngine {
   };
 
   WalFormat wal_format() const { return WalFormat{opts_.wal_checksum_key}; }
+  /// Inline (WalWriter-side) fsync batching: disabled entirely in async
+  /// mode, where the commit thread owns every fsync.
+  std::size_t inline_group_commit() const;
   Shard& shard_for(const std::string& name);
   void checkpoint_locked(Collection& c);
 
@@ -116,6 +140,9 @@ class StorageEngine {
   bool replaying_ = false;
   mutable std::mutex shards_mu_;  // guards the map shape only
   std::map<std::string, Shard> shards_;
+  /// Async commit thread; null unless opts_.async_commit. Declared last so
+  /// it is destroyed (thread joined) before the shards it points into.
+  std::unique_ptr<GroupCommitter> committer_;
 };
 
 }  // namespace gptc::db::engine

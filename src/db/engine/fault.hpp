@@ -12,11 +12,16 @@
 // workload once with a passive injector to enumerate every fault point,
 // then replay it once per point with the trigger armed.
 //
-// Not thread-safe: crash-recovery tests drive a single-writer workload.
+// Thread-safe: the async group-commit thread (commit.hpp) fires
+// CommitFsync from its own thread while writer threads fire the WAL/
+// snapshot points, so all state is guarded by an internal mutex. Crash
+// tests still drive a single-writer workload for determinism; the mutex
+// only makes the counting itself race-free.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace gptc::db::engine {
@@ -26,6 +31,9 @@ enum class FaultPoint {
   WalShortWrite,         // write half of the Nth WAL frame, then crash
   SnapshotBeforeRename,  // crash after <name>.snapshot.tmp is synced
   SnapshotAfterRename,   // crash after the rename, before WAL truncation
+  CommitFsync,           // crash in the group-commit thread before its Nth
+                         // batch fsync: appended-but-unsynced frames are
+                         // lost to a power failure and must never be acked
 };
 
 /// Thrown by the engine when an armed fault fires; tests catch it where a
@@ -39,14 +47,19 @@ class FaultInjector {
  public:
   /// Arms the injector: the `nth` (1-based) occurrence of `point` fires.
   void arm(FaultPoint point, std::uint64_t nth) {
+    std::lock_guard<std::mutex> lock(mu_);
     armed_point_ = point;
     armed_nth_ = nth;
   }
 
-  void disarm() { armed_nth_ = 0; }
+  void disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_nth_ = 0;
+  }
 
   /// Occurrences of `point` seen so far (armed or not).
   std::uint64_t count(FaultPoint point) const {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = counts_.find(point);
     return it == counts_.end() ? 0 : it->second;
   }
@@ -54,11 +67,13 @@ class FaultInjector {
   /// Engine-side: records one occurrence and reports whether the armed
   /// trigger fired. The caller decides how to crash (throw, short-write).
   bool fire(FaultPoint point) {
+    std::lock_guard<std::mutex> lock(mu_);
     const std::uint64_t n = ++counts_[point];
     return armed_nth_ != 0 && armed_point_ == point && n == armed_nth_;
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<FaultPoint, std::uint64_t> counts_;
   FaultPoint armed_point_ = FaultPoint::WalAppend;
   std::uint64_t armed_nth_ = 0;  // 0 = disarmed

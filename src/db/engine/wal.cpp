@@ -119,6 +119,7 @@ WalWriter::WalWriter(std::filesystem::path path, WalFormat fmt,
       group_commit_(group_commit == 0 ? 1 : group_commit),
       next_seq_(next_seq),
       bytes_(existing_bytes),
+      synced_bytes_(existing_bytes),
       fault_(fault) {
   const bool existed = std::filesystem::exists(path_);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
@@ -181,6 +182,7 @@ void WalWriter::sync_locked() {
     throw std::runtime_error("wal: fsync failed for " + path_.string() +
                              ": " + std::strerror(errno));
   pending_ = 0;
+  synced_bytes_ = bytes_;
 }
 
 void WalWriter::reset() {
@@ -195,6 +197,7 @@ void WalWriter::reset() {
     throw std::runtime_error("wal: fsync failed for " + path_.string() +
                              ": " + std::strerror(errno));
   bytes_ = 0;
+  synced_bytes_ = 0;
   pending_ = 0;
 }
 
@@ -206,6 +209,11 @@ std::uint64_t WalWriter::next_seq() const {
 std::uint64_t WalWriter::bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;
+}
+
+std::uint64_t WalWriter::synced_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return synced_bytes_;
 }
 
 }  // namespace gptc::db::engine

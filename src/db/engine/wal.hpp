@@ -92,6 +92,12 @@ class WalWriter {
   std::uint64_t next_seq() const;
   std::uint64_t bytes() const;
 
+  /// Bytes known durable as of the last successful fsync (or the replayed
+  /// prefix at open). The gap bytes()-synced_bytes() is what a power loss
+  /// would take with it — crash tests truncate the file to this offset to
+  /// model losing the page cache (a process kill alone keeps it).
+  std::uint64_t synced_bytes() const;
+
  private:
   void sync_locked();
 
@@ -100,6 +106,7 @@ class WalWriter {
   std::size_t group_commit_;
   std::uint64_t next_seq_;
   std::uint64_t bytes_ = 0;
+  std::uint64_t synced_bytes_ = 0;
   std::size_t pending_ = 0;
   int fd_ = -1;
   FaultInjector* fault_;  // not owned; may be nullptr

@@ -1,0 +1,123 @@
+#include "net/client.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace gptc::net {
+
+CrowdClient::CrowdClient(const std::string& host, std::uint16_t port,
+                         ClientOptions options)
+    : opts_(options) {
+  try {
+    sock_ = tcp_connect(host, port, opts_.recv_timeout_ms,
+                        opts_.send_timeout_ms);
+  } catch (const std::exception& e) {
+    throw TransportError(e.what());
+  }
+}
+
+json::Json CrowdClient::call(const json::Json& request) {
+  const std::string frame = encode_frame(request);
+  if (sock_.send_all(frame.data(), frame.size()) != IoStatus::Ok) {
+    throw TransportError("send failed");
+  }
+
+  char header[kHeaderSize];
+  IoStatus st = sock_.recv_exact(header, kHeaderSize);
+  if (st == IoStatus::Timeout) throw TransportError("response timed out");
+  if (st != IoStatus::Ok) throw TransportError("connection closed");
+  const DecodedHeader h = decode_header(header);
+  if (h.error) throw TransportError("malformed response header");
+  if (h.payload_size > opts_.max_response_bytes) {
+    throw TransportError("response exceeds max_response_bytes");
+  }
+  std::string body(h.payload_size, '\0');
+  if (h.payload_size > 0) {
+    st = sock_.recv_exact(body.data(), body.size());
+    if (st == IoStatus::Timeout) throw TransportError("response timed out");
+    if (st != IoStatus::Ok) throw TransportError("connection closed");
+  }
+
+  json::Json response;
+  try {
+    response = json::Json::parse(body);
+  } catch (const json::JsonError& e) {
+    throw TransportError(std::string("unparseable response: ") + e.what());
+  }
+  const json::Json ok = response.get_or("ok", json::Json(false));
+  if (ok.is_bool() && ok.as_bool()) {
+    return response.get_or("result", json::Json::object());
+  }
+  const json::Json err = response.get_or("error", json::Json::object());
+  const std::string code_name =
+      err.get_or("code", json::Json("internal")).as_string();
+  const std::string message =
+      err.get_or("message", json::Json("")).as_string();
+  throw RpcError(parse_error_code(code_name).value_or(ErrorCode::Internal),
+                 message);
+}
+
+json::Json CrowdClient::health() {
+  json::Json req = json::Json::object();
+  req["op"] = "health";
+  return call(req);
+}
+
+json::Json CrowdClient::stats() {
+  json::Json req = json::Json::object();
+  req["op"] = "stats";
+  return call(req);
+}
+
+std::vector<std::int64_t> CrowdClient::upload(
+    const std::string& api_key, const std::string& problem,
+    const std::vector<crowd::EvalUpload>& evals) {
+  json::Json records = json::Json::array();
+  for (const crowd::EvalUpload& e : evals) {
+    records.as_array().push_back(eval_to_json(e));
+  }
+  json::Json req = json::Json::object();
+  req["op"] = "upload";
+  req["api_key"] = api_key;
+  req["problem"] = problem;
+  req["records"] = std::move(records);
+
+  const json::Json result = call(req);
+  std::vector<std::int64_t> ids;
+  for (const json::Json& id : result.at("ids").as_array()) {
+    ids.push_back(id.as_int());
+  }
+  return ids;
+}
+
+std::vector<json::Json> CrowdClient::query(const std::string& api_key,
+                                           const std::string& problem,
+                                           const std::string& where) {
+  json::Json req = json::Json::object();
+  req["op"] = "query_evaluations";
+  req["api_key"] = api_key;
+  req["problem"] = problem;
+  req["where"] = where;
+
+  json::Json result = call(req);
+  std::vector<json::Json> records;
+  for (json::Json& rec : result["records"].as_array()) {
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+json::Json eval_to_json(const crowd::EvalUpload& e) {
+  json::Json r = json::Json::object();
+  r["task_parameters"] = e.task_parameters;
+  r["tuning_parameters"] = e.tuning_parameters;
+  r["output_name"] = e.output_name;
+  r["output"] = std::isnan(e.output) ? json::Json(nullptr)
+                                     : json::Json(e.output);
+  r["machine_configuration"] = e.machine_configuration;
+  r["software_configuration"] = e.software_configuration;
+  r["accessibility"] = e.accessibility.to_json();
+  return r;
+}
+
+}  // namespace gptc::net

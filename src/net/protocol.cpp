@@ -1,0 +1,97 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+namespace gptc::net {
+
+std::string error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadFrame: return "bad_frame";
+    case ErrorCode::BadVersion: return "bad_version";
+    case ErrorCode::TooLarge: return "too_large";
+    case ErrorCode::BadJson: return "bad_json";
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::Auth: return "auth";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::ShuttingDown: return "shutting_down";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::optional<ErrorCode> parse_error_code(const std::string& name) {
+  for (const ErrorCode code :
+       {ErrorCode::BadFrame, ErrorCode::BadVersion, ErrorCode::TooLarge,
+        ErrorCode::BadJson, ErrorCode::BadRequest, ErrorCode::Auth,
+        ErrorCode::Overloaded, ErrorCode::Timeout, ErrorCode::ShuttingDown,
+        ErrorCode::Internal}) {
+    if (error_code_name(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
+std::string encode_header(std::uint32_t payload_size) {
+  std::string h(kHeaderSize, '\0');
+  std::memcpy(h.data(), kMagic, 4);
+  h[4] = static_cast<char>(kProtocolVersion);
+  h[5] = 0;  // flags
+  h[6] = 0;  // reserved
+  h[7] = 0;
+  h[8] = static_cast<char>((payload_size >> 24) & 0xff);
+  h[9] = static_cast<char>((payload_size >> 16) & 0xff);
+  h[10] = static_cast<char>((payload_size >> 8) & 0xff);
+  h[11] = static_cast<char>(payload_size & 0xff);
+  return h;
+}
+
+std::string encode_frame(const json::Json& payload) {
+  const std::string body = payload.dump();
+  std::string frame =
+      encode_header(static_cast<std::uint32_t>(body.size()));
+  frame += body;
+  return frame;
+}
+
+DecodedHeader decode_header(const char* header) {
+  DecodedHeader out;
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    out.error = ErrorCode::BadFrame;
+    return out;
+  }
+  if (static_cast<std::uint8_t>(header[4]) != kProtocolVersion) {
+    out.error = ErrorCode::BadVersion;
+    return out;
+  }
+  out.payload_size = (static_cast<std::uint32_t>(
+                          static_cast<std::uint8_t>(header[8]))
+                      << 24) |
+                     (static_cast<std::uint32_t>(
+                          static_cast<std::uint8_t>(header[9]))
+                      << 16) |
+                     (static_cast<std::uint32_t>(
+                          static_cast<std::uint8_t>(header[10]))
+                      << 8) |
+                     static_cast<std::uint32_t>(
+                         static_cast<std::uint8_t>(header[11]));
+  return out;
+}
+
+json::Json make_result(json::Json result) {
+  json::Json r = json::Json::object();
+  r["ok"] = true;
+  r["result"] = std::move(result);
+  return r;
+}
+
+json::Json make_error(ErrorCode code, const std::string& message) {
+  json::Json e = json::Json::object();
+  e["code"] = error_code_name(code);
+  e["message"] = message;
+  json::Json r = json::Json::object();
+  r["ok"] = false;
+  r["error"] = std::move(e);
+  return r;
+}
+
+}  // namespace gptc::net

@@ -729,5 +729,186 @@ TEST(Concurrency, ManyReadersOneWriterOnDurableCollection) {
             static_cast<std::size_t>(kDocs / 5 * 3));
 }
 
+// ---------------------------------------------------------------------------
+// Async group commit: the ack contract under crashes
+//
+// Process-crash faults (exceptions) leave the page cache intact, so to
+// model a POWER LOSS at the crash point these tests capture the shard's
+// wal_synced_bytes() — the offset of the last completed fsync — and
+// truncate the WAL file to it after closing the store. Whatever the
+// commit thread had not fsynced is gone, exactly as on a real machine
+// losing power; whatever was acked (wait_durable returned) must survive.
+
+EngineOptions async_options(FaultInjector* fault = nullptr) {
+  EngineOptions opts = test_options(fault);
+  opts.async_commit = true;
+  return opts;
+}
+
+TEST(GroupCommit, AckedRecordsSurvivePowerLossUnackedTailMayNot) {
+  TempDir dir("gptc_gc_ack");
+  std::uint64_t synced = 0;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), async_options());
+    auto& c = store.collection("samples");
+    for (int i = 0; i < 5; ++i) {
+      Json d = Json::object();
+      d["k"] = static_cast<std::int64_t>(i);
+      c.insert(std::move(d));
+    }
+    const std::uint64_t seq =
+        store.storage_engine()->last_logged_seq("samples");
+    store.storage_engine()->wait_durable("samples", seq);  // the ack
+    synced = store.storage_engine()->wal_synced_bytes("samples");
+    ASSERT_GT(synced, 0u);
+    // One more record, never acked: power loss may take it.
+    Json d = Json::object();
+    d["k"] = static_cast<std::int64_t>(99);
+    c.insert(std::move(d));
+  }
+  fs::resize_file(dir.path() / "samples.wal", synced);
+  auto store = DocumentStore::open_durable(dir.path(), async_options());
+  const auto& c = *store.find_collection("samples");
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_TRUE(c.find_one(doc(R"({"k":99})")).is_null());
+}
+
+TEST(GroupCommit, CrashBetweenEnqueueAndFsyncNeverAcks) {
+  TempDir dir("gptc_gc_noack");
+  FaultInjector fault;
+  fault.arm(FaultPoint::CommitFsync, 1);
+  std::uint64_t synced = 0;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), async_options(&fault));
+    auto& c = store.collection("samples");
+    auto batch = c.insert_batch(
+        {doc(R"({"k":1})"), doc(R"({"k":2})"), doc(R"({"k":3})")});
+    ASSERT_GT(batch.commit_seq, 0u);
+    // The batch is enqueued (logged) but the commit thread crashes before
+    // its fsync: the ack path must throw, and keep throwing.
+    EXPECT_THROW(
+        store.storage_engine()->wait_durable("samples", batch.commit_seq),
+        CrashInjected);
+    EXPECT_THROW(
+        store.storage_engine()->wait_durable("samples", batch.commit_seq),
+        CrashInjected);
+    EXPECT_THROW(store.sync(), CrashInjected);
+    synced = store.storage_engine()->wal_synced_bytes("samples");
+  }
+  // Power loss: nothing past the last fsync survives — which is nothing,
+  // since the committer crashed before its first fsync.
+  fs::resize_file(dir.path() / "samples.wal", synced);
+  auto store = DocumentStore::open_durable(dir.path(), async_options());
+  EXPECT_EQ(store.collection("samples").size(), 0u);
+}
+
+class CrashAtEveryGroupCommitFsync
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Single-record writer that acks each record before the next: the fault
+// at the Nth batch fsync crashes the committer while record N is in
+// flight, so exactly the acked prefix — records 1..N-1 — survives a
+// power loss at that instant.
+TEST_P(CrashAtEveryGroupCommitFsync, RecoveryYieldsExactlyTheAckedPrefix) {
+  const std::uint64_t nth = GetParam();
+  TempDir dir("gptc_gc_prefix");
+  FaultInjector fault;
+  fault.arm(FaultPoint::CommitFsync, nth);
+  std::uint64_t synced = 0;
+  std::size_t acked = 0;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), async_options(&fault));
+    auto& c = store.collection("samples");
+    try {
+      for (int i = 0; i < 16; ++i) {
+        Json d = Json::object();
+        d["k"] = static_cast<std::int64_t>(i);
+        c.insert(std::move(d));
+        store.storage_engine()->wait_durable(
+            "samples", store.storage_engine()->last_logged_seq("samples"));
+        ++acked;  // reached only when the record's fsync completed
+      }
+      FAIL() << "CommitFsync fault " << nth << " never fired";
+    } catch (const CrashInjected&) {
+    }
+    EXPECT_EQ(acked, nth - 1);
+    synced = store.storage_engine()->wal_synced_bytes("samples");
+  }
+  fs::resize_file(dir.path() / "samples.wal", synced);
+  auto store = DocumentStore::open_durable(dir.path(), async_options());
+  const auto& c = *store.find_collection("samples");
+  ASSERT_EQ(c.size(), acked);
+  for (std::size_t i = 0; i < acked; ++i) {
+    Json q = Json::object();
+    q["k"] = static_cast<std::int64_t>(i);
+    EXPECT_FALSE(c.find_one(q).is_null()) << "acked record k=" << i;
+  }
+}
+
+// Batched writer: each insert_batch is one WAL record and one commit-
+// thread fsync, so a crash at the Nth fsync acks exactly N-1 batches —
+// and because a batch is a single frame, recovery can never yield a
+// partial batch even when the power loss lands mid-stream.
+TEST_P(CrashAtEveryGroupCommitFsync, BatchesRecoverWholeOrNotAtAll) {
+  const std::uint64_t nth = GetParam();
+  constexpr std::size_t kBatchSize = 3;
+  TempDir dir("gptc_gc_batch");
+  FaultInjector fault;
+  fault.arm(FaultPoint::CommitFsync, nth);
+  std::uint64_t synced = 0;
+  std::size_t acked_batches = 0;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), async_options(&fault));
+    auto& c = store.collection("samples");
+    try {
+      for (int b = 0; b < 16; ++b) {
+        std::vector<Json> batch;
+        for (std::size_t k = 0; k < kBatchSize; ++k) {
+          Json d = Json::object();
+          d["b"] = static_cast<std::int64_t>(b);
+          d["k"] = static_cast<std::int64_t>(k);
+          batch.push_back(std::move(d));
+        }
+        const auto receipt = c.insert_batch(std::move(batch));
+        store.storage_engine()->wait_durable("samples", receipt.commit_seq);
+        ++acked_batches;
+      }
+      FAIL() << "CommitFsync fault " << nth << " never fired";
+    } catch (const CrashInjected&) {
+    }
+    EXPECT_EQ(acked_batches, nth - 1);
+    synced = store.storage_engine()->wal_synced_bytes("samples");
+  }
+  fs::resize_file(dir.path() / "samples.wal", synced);
+  auto store = DocumentStore::open_durable(dir.path(), async_options());
+  const auto& c = *store.find_collection("samples");
+  ASSERT_EQ(c.size(), acked_batches * kBatchSize);
+  for (std::size_t b = 0; b < acked_batches; ++b) {
+    Json q = Json::object();
+    q["b"] = static_cast<std::int64_t>(b);
+    EXPECT_EQ(c.count(q), kBatchSize) << "batch " << b << " not whole";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryFsync, CrashAtEveryGroupCommitFsync,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(GroupCommit, CheckpointMakesLoggedRecordsDurableWithoutFsyncWait) {
+  TempDir dir("gptc_gc_checkpoint");
+  auto store = DocumentStore::open_durable(dir.path(), async_options());
+  auto& c = store.collection("samples");
+  for (int i = 0; i < 8; ++i) {
+    Json d = Json::object();
+    d["k"] = static_cast<std::int64_t>(i);
+    c.insert(std::move(d));
+  }
+  const std::uint64_t seq = store.storage_engine()->last_logged_seq("samples");
+  // A checkpoint persists a synced snapshot covering every logged record,
+  // so the committer must treat them as durable immediately.
+  store.checkpoint_all();
+  store.storage_engine()->wait_durable("samples", seq);  // must not block
+  EXPECT_EQ(store.collection("samples").size(), 8u);
+}
+
 }  // namespace
 }  // namespace gptc::db

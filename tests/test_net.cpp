@@ -1,0 +1,411 @@
+// Protocol-conformance tests for the crowd-repo server (src/net): every
+// malformed input — truncated or oversized frames, garbage JSON, wrong
+// protocol version, bad credentials, stalled clients — must produce the
+// documented typed error and leave the server serving. Each abuse case
+// ends with a health round trip over a fresh connection: the server
+// survived. CI runs this suite under ASan/UBSan and TSan.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "crowd/repo.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+namespace gptc::net {
+namespace {
+
+namespace fs = std::filesystem;
+using json::Json;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// One durable repo + running server per fixture, async group commit on
+/// (the production serving mode).
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>(
+        "gptc_net_" +
+        std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    db::engine::EngineOptions eo;
+    eo.async_commit = true;
+    repo_ = std::make_unique<crowd::SharedRepo>(
+        crowd::SharedRepo::open_durable(dir_->path(), 7, eo));
+    api_key_ = repo_->register_user("alice", "alice@example.org");
+    repo_->add_machine_alias("Cori", {"cori", "cori-knl"});
+  }
+
+  void start(ServerOptions opts = {}) {
+    opts.port = 0;
+    server_ = std::make_unique<CrowdServer>(*repo_, opts);
+    server_->start();
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  CrowdClient client() { return CrowdClient("127.0.0.1", server_->port()); }
+
+  /// Raw connection for hand-crafted (malformed) frames.
+  Socket raw_connect() {
+    return tcp_connect("127.0.0.1", server_->port(), /*recv_timeout_ms=*/5000,
+                       /*send_timeout_ms=*/5000);
+  }
+
+  /// Reads one response frame; fails the test on a broken stream.
+  Json read_frame(Socket& sock) {
+    char header[kHeaderSize];
+    EXPECT_EQ(sock.recv_exact(header, kHeaderSize), IoStatus::Ok);
+    const DecodedHeader h = decode_header(header);
+    EXPECT_FALSE(h.error.has_value());
+    std::string body(h.payload_size, '\0');
+    EXPECT_EQ(sock.recv_exact(body.data(), body.size()), IoStatus::Ok);
+    return Json::parse(body);
+  }
+
+  static std::string error_code_of(const Json& response) {
+    EXPECT_FALSE(response.at("ok").as_bool());
+    return response.at("error").at("code").as_string();
+  }
+
+  /// The liveness probe every abuse case ends with: a fresh connection
+  /// still gets a healthy answer, so the malformed input did not take the
+  /// server down.
+  void expect_alive() {
+    EXPECT_EQ(client().health().at("status").as_string(), "ok");
+  }
+
+  crowd::EvalUpload make_eval(int mb, double runtime,
+                              const std::string& machine = "cori") {
+    crowd::EvalUpload e;
+    e.task_parameters = Json::object();
+    e.task_parameters["m"] = static_cast<std::int64_t>(1000);
+    e.tuning_parameters = Json::object();
+    e.tuning_parameters["mb"] = static_cast<std::int64_t>(mb);
+    e.output = runtime;
+    e.machine_configuration = Json::object();
+    e.machine_configuration["machine_name"] = machine;
+    return e;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<crowd::SharedRepo> repo_;
+  std::unique_ptr<CrowdServer> server_;
+  std::string api_key_;
+};
+
+// ---------------------------------------------------------------------------
+// Happy paths
+
+TEST_F(NetTest, HealthAndStats) {
+  start();
+  CrowdClient c = client();
+  EXPECT_EQ(c.health().at("status").as_string(), "ok");
+  const Json stats = c.stats();
+  EXPECT_GE(stats.at("connections_accepted").as_int(), 1);
+  EXPECT_EQ(stats.at("records_uploaded").as_int(), 0);
+}
+
+TEST_F(NetTest, UploadThenQueryRoundTrip) {
+  start();
+  CrowdClient c = client();
+  const std::vector<std::int64_t> ids = c.upload(
+      api_key_, "pdgeqrf",
+      {make_eval(4, 1.5), make_eval(8, 2.5), make_eval(16, 3.5)});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_NE(ids[0], ids[1]);
+
+  // The server normalized the machine tag on ingest ("cori" -> "Cori").
+  const auto records = c.query(
+      api_key_, "pdgeqrf",
+      "machine_configuration.machine_name = 'Cori' AND "
+      "tuning_parameters.mb >= 8");
+  ASSERT_EQ(records.size(), 2u);
+  for (const Json& r : records) {
+    EXPECT_EQ(r.at("machine_configuration").at("machine_name").as_string(),
+              "Cori");
+    EXPECT_GE(r.at("tuning_parameters").at("mb").as_int(), 8);
+  }
+
+  const Json stats = c.stats();
+  EXPECT_EQ(stats.at("records_uploaded").as_int(), 3);
+}
+
+TEST_F(NetTest, EmptyWhereReturnsWholeVisiblePartition) {
+  start();
+  CrowdClient c = client();
+  c.upload(api_key_, "p1", {make_eval(1, 1.0), make_eval(2, 2.0)});
+  c.upload(api_key_, "p2", {make_eval(3, 3.0)});
+  EXPECT_EQ(c.query(api_key_, "p1", "").size(), 2u);
+  EXPECT_EQ(c.query(api_key_, "p2", "").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Auth failures
+
+TEST_F(NetTest, RejectsBadAndRevokedApiKeys) {
+  start();
+  CrowdClient c = client();
+  try {
+    c.upload("not-a-key", "pdgeqrf", {make_eval(1, 1.0)});
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Auth);
+  }
+
+  const std::string revoked = repo_->issue_api_key("alice");
+  ASSERT_TRUE(repo_->revoke_api_key(revoked));
+  try {
+    c.query(revoked, "pdgeqrf", "");
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Auth);
+  }
+
+  // Auth errors keep the connection usable.
+  EXPECT_EQ(c.health().at("status").as_string(), "ok");
+  expect_alive();
+}
+
+TEST_F(NetTest, MissingApiKeyIsAuthError) {
+  start();
+  Socket sock = raw_connect();
+  Json req = Json::object();
+  req["op"] = "upload";
+  const std::string frame = encode_frame(req);
+  ASSERT_EQ(sock.send_all(frame.data(), frame.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "auth");
+  expect_alive();
+}
+
+// ---------------------------------------------------------------------------
+// Malformed frames
+
+TEST_F(NetTest, BadMagicGetsBadFrameAndClose) {
+  start();
+  Socket sock = raw_connect();
+  std::string header = encode_header(0);
+  header[0] = 'X';  // corrupt the magic
+  ASSERT_EQ(sock.send_all(header.data(), header.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "bad_frame");
+  // Framing errors close the connection: the next read sees EOF.
+  char byte = 0;
+  EXPECT_EQ(sock.recv_exact(&byte, 1), IoStatus::Eof);
+  expect_alive();
+}
+
+TEST_F(NetTest, WrongVersionByteGetsBadVersionAndClose) {
+  start();
+  Socket sock = raw_connect();
+  std::string header = encode_header(0);
+  header[4] = 9;  // future protocol version
+  ASSERT_EQ(sock.send_all(header.data(), header.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "bad_version");
+  char byte = 0;
+  EXPECT_EQ(sock.recv_exact(&byte, 1), IoStatus::Eof);
+  expect_alive();
+}
+
+TEST_F(NetTest, TruncatedHeaderThenCloseIsHarmless) {
+  start();
+  {
+    Socket sock = raw_connect();
+    const std::string header = encode_header(100);
+    // Send 5 of the 12 header bytes, then vanish.
+    ASSERT_EQ(sock.send_all(header.data(), 5), IoStatus::Ok);
+  }
+  expect_alive();
+}
+
+TEST_F(NetTest, TruncatedPayloadThenCloseIsHarmless) {
+  start();
+  {
+    Socket sock = raw_connect();
+    const std::string frame = encode_frame(Json::parse(R"({"op":"health"})"));
+    // Full header, half the payload.
+    ASSERT_EQ(sock.send_all(frame.data(), kHeaderSize + 3), IoStatus::Ok);
+  }
+  expect_alive();
+}
+
+TEST_F(NetTest, OversizedLengthGetsTooLargeAndClose) {
+  ServerOptions opts;
+  opts.max_request_bytes = 1024;
+  start(opts);
+  Socket sock = raw_connect();
+  const std::string header = encode_header(10u << 20);  // 10 MiB declared
+  ASSERT_EQ(sock.send_all(header.data(), header.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "too_large");
+  char byte = 0;
+  EXPECT_EQ(sock.recv_exact(&byte, 1), IoStatus::Eof);
+  expect_alive();
+}
+
+TEST_F(NetTest, GarbageJsonGetsBadJsonAndKeepsConnection) {
+  start();
+  Socket sock = raw_connect();
+  const std::string garbage = "{\"op\": \"heal";  // truncated JSON
+  std::string frame = encode_header(static_cast<std::uint32_t>(garbage.size()));
+  frame += garbage;
+  ASSERT_EQ(sock.send_all(frame.data(), frame.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "bad_json");
+
+  // The frame boundary was sound, so the same connection still serves.
+  const std::string health = encode_frame(Json::parse(R"({"op":"health"})"));
+  ASSERT_EQ(sock.send_all(health.data(), health.size()), IoStatus::Ok);
+  const Json response = read_frame(sock);
+  EXPECT_TRUE(response.at("ok").as_bool());
+  expect_alive();
+}
+
+TEST_F(NetTest, NonObjectAndUnknownOpAreBadRequests) {
+  start();
+  Socket sock = raw_connect();
+  const std::string arr = encode_frame(Json::parse("[1,2,3]"));
+  ASSERT_EQ(sock.send_all(arr.data(), arr.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "bad_request");
+
+  const std::string unknown = encode_frame(Json::parse(R"({"op":"launch"})"));
+  ASSERT_EQ(sock.send_all(unknown.data(), unknown.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "bad_request");
+
+  const std::string noop = encode_frame(Json::parse(R"({"problem":"x"})"));
+  ASSERT_EQ(sock.send_all(noop.data(), noop.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "bad_request");
+  expect_alive();
+}
+
+TEST_F(NetTest, BadWhereClauseIsBadRequest) {
+  start();
+  CrowdClient c = client();
+  c.upload(api_key_, "pdgeqrf", {make_eval(1, 1.0)});
+  try {
+    c.query(api_key_, "pdgeqrf", "mb >=");  // parse error
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::BadRequest);
+  }
+  expect_alive();
+}
+
+// ---------------------------------------------------------------------------
+// Timeouts and admission control
+
+TEST_F(NetTest, StalledClientGetsTimeoutFrame) {
+  ServerOptions opts;
+  opts.read_timeout_ms = 200;
+  start(opts);
+  Socket sock = raw_connect();
+  // Send nothing; the server's read deadline expires and it answers with
+  // a typed timeout error before closing.
+  EXPECT_EQ(error_code_of(read_frame(sock)), "timeout");
+  char byte = 0;
+  EXPECT_EQ(sock.recv_exact(&byte, 1), IoStatus::Eof);
+  expect_alive();
+}
+
+TEST_F(NetTest, StalledMidFrameGetsTimeoutFrame) {
+  ServerOptions opts;
+  opts.read_timeout_ms = 200;
+  start(opts);
+  Socket sock = raw_connect();
+  // Declare a 64-byte payload but never send it.
+  const std::string header = encode_header(64);
+  ASSERT_EQ(sock.send_all(header.data(), header.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "timeout");
+  expect_alive();
+}
+
+TEST_F(NetTest, AdmissionControlRejectsBeyondCap) {
+  ServerOptions opts;
+  opts.max_connections = 1;
+  opts.workers = 1;
+  start(opts);
+
+  Socket first = raw_connect();
+  // Prove the first connection is established and serving.
+  const std::string health = encode_frame(Json::parse(R"({"op":"health"})"));
+  ASSERT_EQ(first.send_all(health.data(), health.size()), IoStatus::Ok);
+  EXPECT_TRUE(read_frame(first).at("ok").as_bool());
+
+  // The second connection exceeds the cap: typed overloaded error, closed,
+  // and the accept loop never blocked.
+  Socket second = raw_connect();
+  EXPECT_EQ(error_code_of(read_frame(second)), "overloaded");
+  char byte = 0;
+  EXPECT_EQ(second.recv_exact(&byte, 1), IoStatus::Eof);
+
+  // The first connection is untouched.
+  ASSERT_EQ(first.send_all(health.data(), health.size()), IoStatus::Ok);
+  EXPECT_TRUE(read_frame(first).at("ok").as_bool());
+}
+
+TEST_F(NetTest, StopRefusesNewConnections) {
+  start();
+  expect_alive();
+  server_->stop();
+  EXPECT_THROW(CrowdClient("127.0.0.1", server_->port()), TransportError);
+}
+
+TEST_F(NetTest, UploadsAreDurableOnAck) {
+  start();
+  client().upload(api_key_, "pdgeqrf",
+                  {make_eval(4, 1.5), make_eval(8, 2.5)});
+  server_->stop();
+  server_.reset();
+  repo_.reset();  // destroy without explicit sync
+
+  // Reopen the directory: the acked batch must have survived.
+  db::engine::EngineOptions eo;
+  eo.async_commit = true;
+  crowd::SharedRepo reopened =
+      crowd::SharedRepo::open_durable(dir_->path(), 7, eo);
+  EXPECT_EQ(reopened.num_records("pdgeqrf"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol helpers
+
+TEST(Protocol, HeaderRoundTrip) {
+  const std::string h = encode_header(0xA1B2C3u);
+  ASSERT_EQ(h.size(), kHeaderSize);
+  const DecodedHeader d = decode_header(h.data());
+  EXPECT_FALSE(d.error.has_value());
+  EXPECT_EQ(d.payload_size, 0xA1B2C3u);
+}
+
+TEST(Protocol, ErrorCodeNamesRoundTrip) {
+  for (const ErrorCode code :
+       {ErrorCode::BadFrame, ErrorCode::BadVersion, ErrorCode::TooLarge,
+        ErrorCode::BadJson, ErrorCode::BadRequest, ErrorCode::Auth,
+        ErrorCode::Overloaded, ErrorCode::Timeout, ErrorCode::ShuttingDown,
+        ErrorCode::Internal}) {
+    const auto parsed = parse_error_code(error_code_name(code));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("no_such_code").has_value());
+}
+
+}  // namespace
+}  // namespace gptc::net

@@ -2,8 +2,9 @@
 //
 // The paper's shared database ships web tools for browsing collected data;
 // this is the equivalent for the file-backed repository: manage users,
-// upload evaluation records, run SQL-like queries, and launch the
-// analytics utilities, all against a repository directory.
+// upload evaluation records, run SQL-like queries, launch the analytics
+// utilities, and serve the repository over TCP (src/net), all against a
+// repository directory — or, with --remote, against a running server.
 //
 // Usage:
 //   crowdctl [--durable] <repo-dir> register <username> <email>
@@ -12,22 +13,32 @@
 //   crowdctl [--durable] <repo-dir> stats <problem>
 //   crowdctl [--durable] <repo-dir> variability <api-key> <problem>
 //   crowdctl [--durable] <repo-dir> collections
+//   crowdctl [--durable] <repo-dir> serve <port> [<workers>]
+//   crowdctl --remote <host:port> upload <api-key> <problem> <records.json>
+//   crowdctl --remote <host:port> query <api-key> <problem> [<where-clause>]
+//   crowdctl --remote <host:port> health
+//   crowdctl --remote <host:port> stats
 //
 // --durable opens the directory on the storage engine (WAL + snapshots,
 // src/db/engine) instead of the diffable JSON export: every mutation is
 // crash-safe the moment the command returns, and a directory written
-// without the flag is migrated in place on first use.
+// without the flag is migrated in place on first use. `serve` with
+// --durable additionally turns on async group commit, the mode the
+// server's upload ack path is designed for.
 //
 // The records.json file holds an array of objects:
 //   [{"task_parameters": {...}, "tuning_parameters": {...},
 //     "output": 1.23, "machine_configuration": {...},
 //     "software_configuration": {...}}, ...]
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "crowd/query_language.hpp"
 #include "crowd/repo.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 
 using namespace gptc;
 using json::Json;
@@ -37,14 +48,18 @@ namespace {
 int usage() {
   std::cerr <<
       "usage: crowdctl [--durable] <repo-dir> <command> [args]\n"
+      "       crowdctl --remote <host:port> <command> [args]\n"
       "  register <username> <email>          create a user, print API key\n"
       "  upload <api-key> <problem> <file>    upload a JSON array of records\n"
       "  query <api-key> <problem> [where]    SQL-like query, print records\n"
       "  stats <problem>                      record counts\n"
       "  variability <api-key> <problem>      noise/outlier report\n"
       "  collections                          list stored collections\n"
+      "  serve <port> [workers]               serve the repo over TCP\n"
+      "remote commands: upload, query, health, stats\n"
       "options:\n"
-      "  --durable    open on the WAL+snapshot storage engine (crash-safe)\n";
+      "  --durable    open on the WAL+snapshot storage engine (crash-safe)\n"
+      "  --remote     talk to a crowdctl serve instance instead of a dir\n";
   return 2;
 }
 
@@ -56,7 +71,120 @@ Json load_json_file(const std::string& path) {
   return Json::parse(buf.str());
 }
 
+/// Maps one wire/file record object onto an EvalUpload (shared between
+/// the local and --remote upload commands).
+crowd::EvalUpload eval_from_record(const Json& r) {
+  crowd::EvalUpload e;
+  e.task_parameters = r.get_or("task_parameters", Json::object());
+  e.tuning_parameters = r.get_or("tuning_parameters", Json::object());
+  const Json name = r.get_or("output_name", Json("runtime"));
+  e.output_name = name.as_string();
+  const Json out = r.get_or("output", Json(nullptr));
+  e.output = out.is_number() ? out.as_double()
+                             : std::numeric_limits<double>::quiet_NaN();
+  e.machine_configuration = r.get_or("machine_configuration", Json::object());
+  e.software_configuration =
+      r.get_or("software_configuration", Json::object());
+  e.accessibility =
+      crowd::Accessibility::from_json(r.get_or("accessibility", Json("public")));
+  return e;
+}
+
+int run_remote(int argc, char** argv) {
+  // argv: crowdctl --remote <host:port> <command> [args...]
+  if (argc < 4) return usage();
+  const std::string endpoint = argv[2];
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "crowdctl: --remote expects host:port\n";
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::stoi(endpoint.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    std::cerr << "crowdctl: bad port in " << endpoint << "\n";
+    return 2;
+  }
+  net::CrowdClient client(host, static_cast<std::uint16_t>(port));
+
+  const std::string command = argv[3];
+  if (command == "health") {
+    std::cout << client.health().dump() << "\n";
+    return 0;
+  }
+  if (command == "stats") {
+    std::cout << client.stats().dump(2) << "\n";
+    return 0;
+  }
+  if (command == "upload") {
+    if (argc != 7) return usage();
+    const Json records = load_json_file(argv[6]);
+    std::vector<crowd::EvalUpload> evals;
+    for (const auto& r : records.as_array()) {
+      evals.push_back(eval_from_record(r));
+    }
+    const auto ids = client.upload(argv[4], argv[5], evals);
+    std::cout << "uploaded " << ids.size() << " record(s) to problem '"
+              << argv[5] << "' (durable on ack)\n";
+    return 0;
+  }
+  if (command == "query") {
+    if (argc != 6 && argc != 7) return usage();
+    const std::string where = argc == 7 ? argv[6] : "";
+    const auto records = client.query(argv[4], argv[5], where);
+    for (const auto& r : records) std::cout << r.dump() << "\n";
+    std::cerr << records.size() << " record(s)\n";
+    return 0;
+  }
+  return usage();
+}
+
+int run_serve(const std::string& dir, bool durable, int argc, char** argv) {
+  // argv: crowdctl [--durable] <dir> serve <port> [<workers>]
+  if (argc != 4 && argc != 5) return usage();
+  const int port = std::stoi(argv[3]);
+  if (port < 0 || port > 65535) {
+    std::cerr << "crowdctl: bad port " << argv[3] << "\n";
+    return 2;
+  }
+
+  // Block SIGINT/SIGTERM before any server thread exists so every thread
+  // inherits the mask and sigwait below is the only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  db::engine::EngineOptions eo;
+  eo.async_commit = true;  // the upload ack path batches fsyncs
+  crowd::SharedRepo repo =
+      durable ? crowd::SharedRepo::open_durable(dir, 0x6a09e667f3bcc908ULL, eo)
+              : crowd::SharedRepo::load(dir);
+
+  net::ServerOptions so;
+  so.port = static_cast<std::uint16_t>(port);
+  if (argc == 5) so.workers = std::stoul(argv[4]);
+  net::CrowdServer server(repo, so);
+  server.start();
+  std::cout << "crowdctl: serving '" << dir << "' on " << so.bind_address
+            << ":" << server.port() << " (" << so.workers << " worker(s), "
+            << (durable ? "durable, async group commit" : "in-memory")
+            << "); Ctrl-C to drain and stop\n";
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::cout << "crowdctl: signal " << sig << " received, draining...\n";
+  server.stop();
+  if (!durable) repo.save(dir);
+  std::cout << "crowdctl: stopped\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--remote") {
+    return run_remote(argc, argv);
+  }
   bool durable = false;
   if (argc >= 2 && std::string(argv[1]) == "--durable") {
     durable = true;
@@ -66,6 +194,8 @@ int run(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string dir = argv[1];
   const std::string command = argv[2];
+
+  if (command == "serve") return run_serve(dir, durable, argc, argv);
 
   // Durable mode persists every mutation through the WAL as it happens;
   // legacy mode mutates in memory and relies on the explicit save() below.
@@ -91,20 +221,7 @@ int run(int argc, char** argv) {
     const Json records = load_json_file(argv[5]);
     std::size_t count = 0;
     for (const auto& r : records.as_array()) {
-      crowd::EvalUpload e;
-      e.task_parameters = r.get_or("task_parameters", Json::object());
-      e.tuning_parameters = r.get_or("tuning_parameters", Json::object());
-      const Json out = r.get_or("output", Json(nullptr));
-      e.output = out.is_number()
-                     ? out.as_double()
-                     : std::numeric_limits<double>::quiet_NaN();
-      e.machine_configuration =
-          r.get_or("machine_configuration", Json::object());
-      e.software_configuration =
-          r.get_or("software_configuration", Json::object());
-      e.accessibility = crowd::Accessibility::from_json(
-          r.get_or("accessibility", Json("public")));
-      repo.upload(argv[3], argv[4], e);
+      repo.upload(argv[3], argv[4], eval_from_record(r));
       ++count;
     }
     persist();
