@@ -15,7 +15,7 @@
 //
 //   bench_server [--seconds S] [--connections N] [--workers W]
 //                [--mode write|read|mixed] [--batch B] [--rate R]
-//                [--dir PATH] [--smoke]
+//                [--shards K] [--dir PATH] [--smoke]
 //
 // Prints ops/s, records/s, and p50/p90/p99 latency per op class.
 // --smoke exits nonzero when any request errored or throughput was zero —
@@ -51,6 +51,7 @@ struct Args {
   std::string mode = "write";
   std::size_t batch = 16;
   double rate = 0.0;  // aggregate ops/s; 0 = closed loop
+  std::size_t shards = 0;  // per-collection WAL/snapshot shards; 0 = keep
   std::string dir;
   bool smoke = false;
 };
@@ -72,6 +73,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--mode") a.mode = next();
     else if (arg == "--batch") a.batch = std::stoul(next());
     else if (arg == "--rate") a.rate = std::stod(next());
+    else if (arg == "--shards") a.shards = std::stoul(next());
     else if (arg == "--dir") a.dir = next();
     else if (arg == "--smoke") a.smoke = true;
     else {
@@ -164,6 +166,7 @@ int main(int argc, char** argv) {
   // server ingest rates it would snapshot (O(collection size)) every few
   // batches and turn the run quadratic. Checkpoint at 256 MiB instead.
   eo.checkpoint_wal_bytes = 256u << 20;
+  eo.shards = args.shards;
   crowd::SharedRepo repo = crowd::SharedRepo::open_durable(dir, 42, eo);
   const std::string api_key = repo.register_user("bench", "bench@local");
   repo.add_machine_alias("Cori", {"cori"});
@@ -173,7 +176,7 @@ int main(int argc, char** argv) {
     std::vector<crowd::EvalUpload> seed;
     for (std::uint64_t i = 0; i < 256; ++i) seed.push_back(make_eval(i));
     const auto receipt = repo.upload_batch(api_key, "bench_problem", seed);
-    repo.wait_uploads_durable(receipt.commit_seq);
+    repo.wait_uploads_durable(receipt);
   }
 
   net::ServerOptions so;
@@ -184,9 +187,9 @@ int main(int argc, char** argv) {
   server.start();
   std::printf(
       "bench_server: port=%u mode=%s connections=%zu workers=%zu batch=%zu "
-      "rate=%.0f seconds=%.1f\n",
+      "rate=%.0f shards=%zu seconds=%.1f\n",
       server.port(), args.mode.c_str(), args.connections, args.workers,
-      args.batch, args.rate, args.seconds);
+      args.batch, args.rate, args.shards, args.seconds);
 
   std::atomic<bool> stop{false};
   std::vector<ThreadResult> write_results(args.connections);

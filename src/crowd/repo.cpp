@@ -145,23 +145,29 @@ std::optional<std::string> SharedRepo::authenticate(
   // Salted hashes cannot be equality-queried (each document has its own
   // salt), so verification walks the key documents in insertion order —
   // the collection holds one document per issued key, not per record.
-  for (const auto& doc : keys->all()) {
-    if (doc.get_or("revoked", Json(false)).as_bool()) continue;
-    if (key_doc_matches(doc, api_key)) return doc.at("username").as_string();
-  }
-  return std::nullopt;
+  std::optional<std::string> user;
+  keys->for_each([&](const Json& doc) {
+    if (doc.get_or("revoked", Json(false)).as_bool()) return true;
+    if (key_doc_matches(doc, api_key)) {
+      user = doc.at("username").as_string();
+      return false;
+    }
+    return true;
+  });
+  return user;
 }
 
 bool SharedRepo::revoke_api_key(const std::string& api_key) {
   auto& keys = store_.collection("api_keys");
   std::int64_t id = -1;
-  for (const auto& doc : keys.all()) {
-    if (doc.get_or("revoked", Json(false)).as_bool()) continue;
+  keys.for_each([&](const Json& doc) {
+    if (doc.get_or("revoked", Json(false)).as_bool()) return true;
     if (key_doc_matches(doc, api_key)) {
       id = doc.at("_id").as_int();
-      break;
+      return false;
     }
-  }
+    return true;
+  });
   if (id < 0) return false;
   Json q = Json::object();
   q["_id"] = id;
@@ -206,14 +212,20 @@ std::string normalize_with(const db::Collection* table,
                            const std::string& tag) {
   if (!table) return tag;
   const std::string needle = lower(tag);
-  for (const auto& doc : table->all()) {
-    if (lower(doc.at("canonical").as_string()) == needle)
-      return doc.at("canonical").as_string();
+  std::string canonical;
+  table->for_each([&](const Json& doc) {
+    if (lower(doc.at("canonical").as_string()) == needle) {
+      canonical = doc.at("canonical").as_string();
+      return false;
+    }
     for (const auto& alias : doc.at("aliases").as_array())
-      if (lower(alias.as_string()) == needle)
-        return doc.at("canonical").as_string();
-  }
-  return tag;
+      if (lower(alias.as_string()) == needle) {
+        canonical = doc.at("canonical").as_string();
+        return false;
+      }
+    return true;
+  });
+  return canonical.empty() ? tag : canonical;
 }
 
 }  // namespace
@@ -264,12 +276,47 @@ json::Json SharedRepo::build_record(const std::string& user,
   return record;
 }
 
+std::map<std::string, std::vector<Json>> SharedRepo::missing_catalog_docs(
+    const std::string& user, const std::string& problem_name,
+    const std::vector<Json>& records) const {
+  // The catalog collections are indexed on their name field, so these
+  // presence probes are index-only (Collection::exists fast path).
+  std::map<std::string, std::vector<Json>> docs;
+  Json pq = Json::object();
+  pq["name"] = problem_name;
+  const auto* problems = store_.find_collection("problems");
+  if (!problems || !problems->exists(pq)) {
+    Json doc = Json::object();
+    doc["name"] = problem_name;
+    doc["first_user"] = user;
+    docs["problems"].push_back(std::move(doc));
+  }
+  std::vector<std::string> seen;
+  for (const auto& r : records) {
+    const Json* mn = db::lookup_path(r, "machine_configuration.machine_name");
+    if (!mn || !mn->is_string()) continue;
+    const std::string& name = mn->as_string();
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    Json mq = Json::object();
+    mq["machine_name"] = name;
+    const auto* machines = store_.find_collection("machine_catalog");
+    if (!machines || !machines->exists(mq)) {
+      Json doc = Json::object();
+      doc["machine_name"] = name;
+      docs["machine_catalog"].push_back(std::move(doc));
+    }
+  }
+  return docs;
+}
+
 std::int64_t SharedRepo::upload(const std::string& api_key,
                                 const std::string& problem_name,
                                 const EvalUpload& e) {
   const std::string user = require_user(api_key);
-  return store_.collection("func_eval")
-      .insert(build_record(user, problem_name, e));
+  std::vector<Json> records;
+  records.push_back(build_record(user, problem_name, e));
+  return upload_records(user, problem_name, std::move(records)).ids[0];
 }
 
 SharedRepo::UploadReceipt SharedRepo::upload_batch(
@@ -280,14 +327,36 @@ SharedRepo::UploadReceipt SharedRepo::upload_batch(
   records.reserve(evals.size());
   for (const auto& e : evals)
     records.push_back(build_record(user, problem_name, e));
-  const auto batch =
-      store_.collection("func_eval").insert_batch(std::move(records));
-  return UploadReceipt{batch.ids, batch.commit_seq};
+  return upload_records(user, problem_name, std::move(records));
 }
 
-void SharedRepo::wait_uploads_durable(std::uint64_t commit_seq) {
-  if (commit_seq == 0 || !store_.durable()) return;
-  store_.storage_engine()->wait_durable("func_eval", commit_seq);
+SharedRepo::UploadReceipt SharedRepo::upload_records(
+    const std::string& user, const std::string& problem_name,
+    std::vector<Json> records) {
+  // Fast path: every catalog descriptor this upload implies already
+  // exists, so the runs alone are the commit — no catalog lock, writers
+  // to different shards proceed concurrently.
+  if (missing_catalog_docs(user, problem_name, records).empty()) {
+    auto batch = store_.collection("func_eval").insert_batch(std::move(records));
+    return UploadReceipt{std::move(batch.ids), std::move(batch.ticket),
+                         batch.commit_seq};
+  }
+  // First sighting of this problem or machine: catalog descriptors and
+  // runs go down as ONE logical commit, whole-or-nothing under crash.
+  // Serialized so two racing first uploads cannot both pass the existence
+  // probe and double-insert the descriptor.
+  std::lock_guard<std::mutex> lock(*catalog_mu_);
+  auto docs = missing_catalog_docs(user, problem_name, records);  // re-probe
+  docs["func_eval"] = std::move(records);
+  auto result = store_.insert_atomic(std::move(docs));
+  const std::uint64_t seq = result.ticket.seq;
+  return UploadReceipt{std::move(result.ids["func_eval"]),
+                       std::move(result.ticket), seq};
+}
+
+void SharedRepo::wait_uploads_durable(const UploadReceipt& receipt) {
+  if (receipt.ticket.seq == 0 || !store_.durable()) return;
+  store_.storage_engine()->wait_durable(receipt.ticket);
 }
 
 bool SharedRepo::record_visible(const Json& record,
@@ -567,6 +636,10 @@ void SharedRepo::declare_default_indexes() {
   evals.create_index("problem");
   evals.create_index("machine_configuration.machine_name");
   store_.collection("users").create_index("username");
+  // The upload path probes these on every batch (missing_catalog_docs);
+  // with the index the probe is answered from posting lists alone.
+  store_.collection("problems").create_index("name");
+  store_.collection("machine_catalog").create_index("machine_name");
 }
 
 void SharedRepo::declare_task_parameter_index(

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -92,31 +94,39 @@ class SharedRepo {
 
   /// Uploads one evaluation under the given problem name. Machine/software
   /// names inside the configurations are normalized. Returns the record id.
+  /// The first upload naming a problem (or a machine) also writes its
+  /// catalog descriptor — problem + machine + run land as ONE logical
+  /// commit (DocumentStore::insert_atomic), so a crash can never leave a
+  /// run whose problem or machine entry is missing, or vice versa.
   /// Throws std::invalid_argument on a bad API key.
   std::int64_t upload(const std::string& api_key,
                       const std::string& problem_name, const EvalUpload& e);
 
-  /// Receipt for a batch upload: record ids plus the WAL commit sequence
-  /// to pass to wait_uploads_durable for a durability ack (0 when the
-  /// repository is not durable).
+  /// Receipt for an upload batch: the func_eval record ids plus the
+  /// durability ticket (the engine WAL the commit frame lives in and its
+  /// sequence; seq 0 when the repository is not durable). commit_seq
+  /// mirrors ticket.seq for callers that only test for zero.
   struct UploadReceipt {
     std::vector<std::int64_t> ids;
+    db::engine::CommitTicket ticket;
     std::uint64_t commit_seq = 0;
   };
 
-  /// Uploads a batch of evaluations atomically: all records are inserted
-  /// under one collection writer lock, so concurrent readers observe
-  /// either none or all of the batch (the server's multi-record upload
-  /// endpoint). Authentication happens once for the whole batch.
+  /// Uploads a batch of evaluations atomically: the records (and any
+  /// first-seen problem/machine catalog descriptors) are covered by one
+  /// WAL commit frame and applied under the affected shard writer locks,
+  /// so concurrent readers and crash recovery observe either none or all
+  /// of the batch (the server's multi-record upload endpoint).
+  /// Authentication happens once for the whole batch.
   UploadReceipt upload_batch(const std::string& api_key,
                              const std::string& problem_name,
                              const std::vector<EvalUpload>& evals);
 
   /// Blocks until every record of a receipt is durable (WAL fsync or
-  /// covering snapshot). No-op for non-durable repositories and for
-  /// commit_seq 0. With async group commit this is where the server's
-  /// upload ack waits; see db::engine::GroupCommitter.
-  void wait_uploads_durable(std::uint64_t commit_seq);
+  /// covering snapshot). No-op for non-durable repositories. With async
+  /// group commit this is where the server's upload ack waits; see
+  /// db::engine::GroupCommitter.
+  void wait_uploads_durable(const UploadReceipt& receipt);
 
   /// All records matching a meta description and visible to its API key's
   /// user. This is the paper's QueryFunctionEvaluations.
@@ -211,7 +221,22 @@ class SharedRepo {
   std::string require_user(const std::string& api_key) const;
   core::TrainingData to_training_data(const std::vector<json::Json>& records,
                                       const space::Space& param_space) const;
+  /// Catalog descriptors (problems / machine_catalog docs) this upload
+  /// would introduce — empty when everything is already known.
+  std::map<std::string, std::vector<json::Json>> missing_catalog_docs(
+      const std::string& user, const std::string& problem_name,
+      const std::vector<json::Json>& records) const;
+  UploadReceipt upload_records(const std::string& user,
+                               const std::string& problem_name,
+                               std::vector<json::Json> records);
 
+  /// First-seen problem/machine catalog descriptors for one upload are
+  /// detected and inserted atomically; this serializes the detect-and-
+  /// insert window so two racing first uploads cannot both write the
+  /// descriptor. Ordinary uploads (descriptors already present) skip it.
+  /// Heap-held so SharedRepo stays movable (load/open_durable return by
+  /// value).
+  std::unique_ptr<std::mutex> catalog_mu_ = std::make_unique<std::mutex>();
   db::DocumentStore store_;
   rng::Rng key_rng_;
 };

@@ -77,6 +77,27 @@ std::optional<std::size_t> parse_array_index(const std::string& key) {
   return idx;
 }
 
+/// Atomic max fold for the id counter: shard recovery tasks (and
+/// restore_shard) run in parallel, each pushing the counter past the ids it
+/// has seen.
+void fold_next_id(std::atomic<std::int64_t>& next_id, std::int64_t seen) {
+  std::int64_t cur = next_id.load(std::memory_order_relaxed);
+  while (cur < seen && !next_id.compare_exchange_weak(cur, seen)) {
+  }
+}
+
+/// Acquires every shard's reader lock (ascending shard index — the engine
+/// lock order) so a fan-out query observes multi-shard mutations, which
+/// apply under every affected shard's writer lock, none-or-all.
+template <typename Shards>
+std::vector<std::shared_lock<std::shared_mutex>> lock_shared_all(
+    const Shards& shards) {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards.size());
+  for (const auto& s : shards) locks.emplace_back(s->mu);
+  return locks;
+}
+
 }  // namespace
 
 const Json* lookup_path(const Json& document, const std::string& path) {
@@ -138,23 +159,79 @@ bool matches(const Json& document, const Json& query) {
 // ---------------------------------------------------------------------------
 // Collection
 
+Collection::Collection(std::string name, std::size_t shards)
+    : name_(std::move(name)) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+Collection::Collection(Collection&& other) noexcept
+    : name_(std::move(other.name_)),
+      next_id_(other.next_id_.load()),
+      shards_(std::move(other.shards_)),
+      index_paths_(std::move(other.index_paths_)),
+      engine_(other.engine_) {}
+
+Collection& Collection::operator=(Collection&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    next_id_.store(other.next_id_.load());
+    shards_ = std::move(other.shards_);
+    index_paths_ = std::move(other.index_paths_);
+    engine_ = other.engine_;
+  }
+  return *this;
+}
+
+std::size_t Collection::size() const {
+  const auto locks = lock_shared_all(shards_);
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->docs.size();
+  return n;
+}
+
+void Collection::index_doc(Shard& s, const Json& doc) {
+  const std::int64_t id = doc.at("_id").as_int();
+  for (auto& [path, idx] : s.indexes) {
+    (void)path;
+    idx.add(doc, id);
+  }
+}
+
+void Collection::unindex_doc(Shard& s, const Json& doc) {
+  const std::int64_t id = doc.at("_id").as_int();
+  for (auto& [path, idx] : s.indexes) {
+    (void)path;
+    idx.erase(doc, id);
+  }
+}
+
+void Collection::insert_into_shard(Shard& s, Json document) {
+  const std::int64_t id = document.at("_id").as_int();
+  fold_next_id(next_id_, id + 1);
+  s.id_pos[id] = s.docs.size();
+  index_doc(s, document);
+  s.docs.push_back(std::move(document));
+}
+
 std::int64_t Collection::insert(Json document) {
   if (!document.is_object())
     throw json::JsonError("Collection::insert: document must be an object");
-  std::unique_lock lock(*mu_);
-  const std::int64_t id = next_id_;
+  const std::int64_t id = next_id_.fetch_add(1);
   document["_id"] = id;
+  const std::size_t k = shard_of(id);
+  Shard& s = *shards_[k];
+  std::unique_lock lock(s.mu);
   if (engine_) {
     Json op = Json::object();
     op["o"] = "i";
     op["d"] = document;
-    engine_->log_op(*this, op);  // write-ahead: log before apply
+    engine_->log_op(*this, k, op);  // write-ahead: log before apply
   }
-  ++next_id_;
-  id_pos_[id] = docs_.size();
-  index_doc(document);
-  docs_.push_back(std::move(document));
-  if (engine_) engine_->maybe_checkpoint(*this);
+  insert_into_shard(s, std::move(document));
+  if (engine_) engine_->maybe_checkpoint(*this, k);
   return id;
 }
 
@@ -167,41 +244,107 @@ Collection::BatchInsert Collection::insert_batch(std::vector<Json> documents) {
   if (documents.empty()) return out;
   out.ids.reserve(documents.size());
 
-  std::unique_lock lock(*mu_);
-  // Assign ids, then WAL-log the whole batch as ONE record before applying
-  // any of it. A single frame makes the batch crash-atomic: recovery
-  // replays it whole or — when a power loss truncated the log before the
-  // frame was synced — not at all, never a partial batch. Application
-  // under the same exclusive lock gives readers the same none-or-all view.
-  for (std::size_t i = 0; i < documents.size(); ++i)
-    documents[i]["_id"] = next_id_ + static_cast<std::int64_t>(i);
-  if (engine_) {
+  // Assign ids up front, then bucket by shard. Ids ascend through the
+  // batch, so each shard's slice stays in ascending-id (= insertion) order.
+  const std::int64_t base =
+      next_id_.fetch_add(static_cast<std::int64_t>(documents.size()));
+  std::map<std::size_t, std::vector<Json>> by_shard;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    const std::int64_t id = base + static_cast<std::int64_t>(i);
+    documents[i]["_id"] = id;
+    out.ids.push_back(id);
+    by_shard[shard_of(id)].push_back(std::move(documents[i]));
+  }
+
+  if (by_shard.size() == 1) {
+    // Whole batch on one shard: a single shard-WAL batch frame is already
+    // crash-atomic (replayed whole or not at all), no commit record needed.
+    const std::size_t k = by_shard.begin()->first;
+    auto& docs = by_shard.begin()->second;
+    Shard& s = *shards_[k];
+    std::unique_lock lock(s.mu);
+    if (engine_) {
+      Json batch = Json::array();
+      for (const auto& d : docs) batch.as_array().push_back(d);
+      Json op = Json::object();
+      op["o"] = "b";
+      op["ds"] = std::move(batch);
+      const std::uint64_t seq = engine_->log_op(*this, k, op);
+      out.ticket = {engine::StorageEngine::shard_stem(name_, k, shard_count()),
+                    seq};
+      out.commit_seq = seq;
+    }
+    for (auto& d : docs) insert_into_shard(s, std::move(d));
+    if (engine_) engine_->maybe_checkpoint(*this, k);
+    return out;
+  }
+
+  // The batch spans shards: one logical commit record covers every
+  // per-shard batch frame, and application happens under all affected
+  // shard writer locks — readers and recovery see none or all of it.
+  std::map<std::size_t, Json> ops;
+  for (const auto& [k, docs] : by_shard) {
     Json batch = Json::array();
-    for (const auto& d : documents) batch.as_array().push_back(d);
+    for (const auto& d : docs) batch.as_array().push_back(d);
     Json op = Json::object();
     op["o"] = "b";
     op["ds"] = std::move(batch);
-    out.commit_seq = engine_->log_op(*this, op);
+    ops.emplace(k, std::move(op));
   }
-  for (auto& d : documents) {
-    const std::int64_t id = d.at("_id").as_int();
-    out.ids.push_back(id);
-    next_id_ = id + 1;
-    id_pos_[id] = docs_.size();
-    index_doc(d);
-    docs_.push_back(std::move(d));
-  }
-  if (engine_) engine_->maybe_checkpoint(*this);
+  out.ticket = commit_multi(ops, [&] {
+    for (auto& [k, docs] : by_shard)
+      for (auto& d : docs) insert_into_shard(*shards_[k], std::move(d));
+  });
+  out.commit_seq = out.ticket.seq;
   return out;
 }
 
+engine::CommitTicket Collection::commit_multi(
+    const std::map<std::size_t, Json>& ops_by_shard,
+    const std::function<void()>& apply) {
+  if (!engine_) {
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(ops_by_shard.size());
+    for (const auto& [k, op] : ops_by_shard) {
+      (void)op;
+      locks.emplace_back(shards_[k]->mu);
+    }
+    apply();
+    return {};
+  }
+  engine::CommitTicket ticket;
+  {
+    // Lock order: commit gate (shared) -> shard writer locks (ascending:
+    // ops_by_shard is a sorted map) -> WAL internals inside log_commit.
+    std::shared_lock gate(engine_->commit_gate());
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(ops_by_shard.size());
+    for (const auto& [k, op] : ops_by_shard) {
+      (void)op;
+      locks.emplace_back(shards_[k]->mu);
+    }
+    std::vector<engine::StorageEngine::CommitMember> members;
+    members.reserve(ops_by_shard.size());
+    for (const auto& [k, op] : ops_by_shard)
+      members.push_back({this, k, op});
+    ticket = engine_->log_commit(members);  // write-ahead: log before apply
+    apply();
+    for (const auto& [k, op] : ops_by_shard) {
+      (void)op;
+      engine_->maybe_checkpoint(*this, k);
+    }
+  }
+  engine_->maybe_compact_commits();  // needs the gate exclusively: call last
+  return ticket;
+}
+
 std::optional<std::vector<std::int64_t>> Collection::plan(
-    const Json& query) const {
-  if (indexes_.empty() || !query.is_object()) return std::nullopt;
+    const Shard& s, const Json& query) const {
+  if (s.indexes.empty() || !query.is_object()) return std::nullopt;
   for (const auto& [key, condition] : query.as_object()) {
     if (!key.empty() && key[0] == '$') continue;  // $and/$or/$not: scan
-    const auto it = indexes_.find(key);
-    if (it == indexes_.end()) continue;
+    const auto it = s.indexes.find(key);
+    if (it == s.indexes.end()) continue;
     // Top-level fields are conjunctive, so one field's candidates are a
     // superset of the query's matches; the full predicate re-filters below.
     if (auto ids = it->second.candidates(condition)) return ids;
@@ -209,102 +352,228 @@ std::optional<std::vector<std::int64_t>> Collection::plan(
   return std::nullopt;
 }
 
-const Json* Collection::doc_by_id(std::int64_t id) const {
-  const auto it = id_pos_.find(id);
-  return it == id_pos_.end() ? nullptr : &docs_[it->second];
+const engine::OrderedIndex* Collection::exact_index(
+    const Shard& s, const Json& query, const Json** condition) const {
+  // Exactness needs the whole query to BE the one indexed condition: with a
+  // second field in play the index only ever narrows, never answers.
+  if (!query.is_object() || query.as_object().size() != 1) return nullptr;
+  const auto& [key, cond] = *query.as_object().begin();
+  if (key.empty() || key[0] == '$') return nullptr;
+  const auto it = s.indexes.find(key);
+  if (it == s.indexes.end()) return nullptr;
+  if (!engine::OrderedIndex::exact(cond)) return nullptr;
+  *condition = &cond;
+  return &it->second;
+}
+
+const Json* Collection::doc_by_id(const Shard& s, std::int64_t id) {
+  const auto it = s.id_pos.find(id);
+  return it == s.id_pos.end() ? nullptr : &s.docs[it->second];
+}
+
+std::vector<Json> Collection::merge_by_id(
+    std::vector<std::vector<Json>> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<Json> out;
+  out.reserve(total);
+  std::vector<std::size_t> pos(parts.size(), 0);
+  while (out.size() < total) {
+    std::size_t best = parts.size();
+    std::int64_t best_id = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (pos[i] >= parts[i].size()) continue;
+      const std::int64_t id = parts[i][pos[i]].at("_id").as_int();
+      if (best == parts.size() || id < best_id) {
+        best = i;
+        best_id = id;
+      }
+    }
+    out.push_back(std::move(parts[best][pos[best]++]));
+  }
+  return out;
 }
 
 std::vector<Json> Collection::find(const Json& query) const {
-  std::shared_lock lock(*mu_);
-  std::vector<Json> out;
-  if (const auto ids = plan(query)) {
-    // Ids ascend in insertion order, so the result order matches a scan.
-    for (const std::int64_t id : *ids) {
-      const Json* d = doc_by_id(id);
-      if (d && matches(*d, query)) out.push_back(*d);
-    }
-    return out;
-  }
-  for (const auto& d : docs_)
-    if (matches(d, query)) out.push_back(d);
-  return out;
+  return find_filtered(query, [](const Json&) { return true; });
 }
 
 std::vector<Json> Collection::find_filtered(
     const Json& query, const std::function<bool(const Json&)>& pred) const {
-  std::shared_lock lock(*mu_);
-  std::vector<Json> out;
-  if (const auto ids = plan(query)) {
-    for (const std::int64_t id : *ids) {
-      const Json* d = doc_by_id(id);
-      if (d && matches(*d, query) && pred(*d)) out.push_back(*d);
+  const auto locks = lock_shared_all(shards_);
+  std::vector<std::vector<Json>> parts;
+  parts.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::vector<Json> part;
+    if (const auto ids = plan(s, query)) {
+      // Ids ascend in insertion order, so each part matches a shard scan.
+      for (const std::int64_t id : *ids) {
+        const Json* d = doc_by_id(s, id);
+        if (d && matches(*d, query) && pred(*d)) part.push_back(*d);
+      }
+    } else {
+      for (const auto& [id, p] : s.id_pos) {
+        (void)id;
+        const Json& d = s.docs[p];
+        if (matches(d, query) && pred(d)) part.push_back(d);
+      }
     }
-    return out;
+    parts.push_back(std::move(part));
   }
-  for (const auto& d : docs_)
-    if (matches(d, query) && pred(d)) out.push_back(d);
-  return out;
+  // Per-shard parts are each in ascending-id order; the id merge restores
+  // global insertion order, byte-identical to the unsharded scan.
+  return merge_by_id(std::move(parts));
 }
 
 Json Collection::find_one(const Json& query) const {
-  std::shared_lock lock(*mu_);
-  if (const auto ids = plan(query)) {
-    for (const std::int64_t id : *ids) {
-      const Json* d = doc_by_id(id);
-      if (d && matches(*d, query)) return *d;
+  const auto locks = lock_shared_all(shards_);
+  const Json* best = nullptr;
+  std::int64_t best_id = 0;
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    const Json* first = nullptr;
+    if (const auto ids = plan(s, query)) {
+      for (const std::int64_t id : *ids) {
+        const Json* d = doc_by_id(s, id);
+        if (d && matches(*d, query)) {
+          first = d;
+          break;
+        }
+      }
+    } else {
+      for (const auto& [id, p] : s.id_pos) {
+        (void)id;
+        if (matches(s.docs[p], query)) {
+          first = &s.docs[p];
+          break;
+        }
+      }
     }
-    return Json();
+    if (first) {
+      const std::int64_t id = first->at("_id").as_int();
+      if (!best || id < best_id) {
+        best = first;
+        best_id = id;
+      }
+    }
   }
-  for (const auto& d : docs_)
-    if (matches(d, query)) return d;
-  return Json();
+  return best ? *best : Json();
 }
 
 std::size_t Collection::count(const Json& query) const {
-  std::shared_lock lock(*mu_);
-  std::size_t n = 0;
-  if (const auto ids = plan(query)) {
-    for (const std::int64_t id : *ids) {
-      const Json* d = doc_by_id(id);
-      if (d && matches(*d, query)) ++n;
+  const auto locks = lock_shared_all(shards_);
+  {
+    const Json* cond = nullptr;
+    if (exact_index(*shards_[0], query, &cond) != nullptr) {
+      // Index-only: posting-list sizes ARE the per-shard match counts.
+      std::size_t n = 0;
+      for (const auto& sp : shards_) {
+        const Json* c = nullptr;
+        const auto* idx = exact_index(*sp, query, &c);
+        n += idx->exact_count(*c);
+      }
+      return n;
     }
-    return n;
   }
-  for (const auto& d : docs_)
-    if (matches(d, query)) ++n;
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    if (const auto ids = plan(s, query)) {
+      for (const std::int64_t id : *ids) {
+        const Json* d = doc_by_id(s, id);
+        if (d && matches(*d, query)) ++n;
+      }
+    } else {
+      for (const auto& [id, p] : s.id_pos) {
+        (void)id;
+        if (matches(s.docs[p], query)) ++n;
+      }
+    }
+  }
   return n;
+}
+
+bool Collection::exists(const Json& query) const {
+  const auto locks = lock_shared_all(shards_);
+  {
+    const Json* cond = nullptr;
+    if (exact_index(*shards_[0], query, &cond) != nullptr) {
+      for (const auto& sp : shards_) {
+        const Json* c = nullptr;
+        const auto* idx = exact_index(*sp, query, &c);
+        if (idx->exact_exists(*c)) return true;
+      }
+      return false;
+    }
+  }
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    if (const auto ids = plan(s, query)) {
+      for (const std::int64_t id : *ids) {
+        const Json* d = doc_by_id(s, id);
+        if (d && matches(*d, query)) return true;
+      }
+    } else {
+      for (const auto& [id, p] : s.id_pos) {
+        (void)id;
+        if (matches(s.docs[p], query)) return true;
+      }
+    }
+  }
+  return false;
 }
 
 std::size_t Collection::remove(const Json& query) {
-  std::unique_lock lock(*mu_);
-  if (engine_) {
-    Json op = Json::object();
-    op["o"] = "r";
-    op["q"] = query;
-    engine_->log_op(*this, op);
+  if (shard_count() == 1) {
+    Shard& s = *shards_[0];
+    std::unique_lock lock(s.mu);
+    if (engine_) {
+      Json op = Json::object();
+      op["o"] = "r";
+      op["q"] = query;
+      engine_->log_op(*this, 0, op);
+    }
+    const std::size_t n = remove_shard_locked(s, query);
+    if (engine_) engine_->maybe_checkpoint(*this, 0);
+    return n;
   }
-  const std::size_t n = remove_locked(query);
-  if (engine_) engine_->maybe_checkpoint(*this);
+  // A query can match documents on any shard, so at N > 1 a remove is a
+  // logical commit across all of them — recovery applies it everywhere or
+  // nowhere, never on a subset of shards.
+  Json op = Json::object();
+  op["o"] = "r";
+  op["q"] = query;
+  std::map<std::size_t, Json> ops;
+  for (std::size_t k = 0; k < shard_count(); ++k) ops.emplace(k, op);
+  std::size_t n = 0;
+  commit_multi(ops, [&] {
+    for (std::size_t k = 0; k < shard_count(); ++k)
+      n += remove_shard_locked(*shards_[k], query);
+  });
   return n;
 }
 
-std::size_t Collection::remove_locked(const Json& query) {
+std::size_t Collection::remove_shard_locked(Shard& s, const Json& query) {
   std::vector<Json> kept;
-  kept.reserve(docs_.size());
+  kept.reserve(s.docs.size());
   std::size_t removed = 0;
-  for (auto& d : docs_) {
+  for (auto& d : s.docs) {
     if (matches(d, query)) {
-      unindex_doc(d);
+      unindex_doc(s, d);
       ++removed;
     } else {
       kept.push_back(std::move(d));
     }
   }
+  // Unconditionally: the loop moved every kept document out of s.docs, so
+  // even a no-match remove must swap the (order-preserving) vector back in.
+  s.docs = std::move(kept);
   if (removed != 0) {
-    docs_ = std::move(kept);
-    id_pos_.clear();
-    for (std::size_t i = 0; i < docs_.size(); ++i)
-      id_pos_[docs_[i].at("_id").as_int()] = i;
+    s.id_pos.clear();
+    for (std::size_t i = 0; i < s.docs.size(); ++i)
+      s.id_pos[s.docs[i].at("_id").as_int()] = i;
   }
   return removed;
 }
@@ -312,126 +581,216 @@ std::size_t Collection::remove_locked(const Json& query) {
 std::size_t Collection::update(const Json& query, const Json& update) {
   if (!update.is_object())
     throw json::JsonError("Collection::update: update must be an object");
-  std::unique_lock lock(*mu_);
-  if (engine_) {
-    Json op = Json::object();
-    op["o"] = "u";
-    op["q"] = query;
-    op["u"] = update;
-    engine_->log_op(*this, op);
+  if (shard_count() == 1) {
+    Shard& s = *shards_[0];
+    std::unique_lock lock(s.mu);
+    if (engine_) {
+      Json op = Json::object();
+      op["o"] = "u";
+      op["q"] = query;
+      op["u"] = update;
+      engine_->log_op(*this, 0, op);
+    }
+    const std::size_t n = update_shard_locked(s, query, update);
+    if (engine_) engine_->maybe_checkpoint(*this, 0);
+    return n;
   }
-  const std::size_t n = update_locked(query, update);
-  if (engine_) engine_->maybe_checkpoint(*this);
+  Json op = Json::object();
+  op["o"] = "u";
+  op["q"] = query;
+  op["u"] = update;
+  std::map<std::size_t, Json> ops;
+  for (std::size_t k = 0; k < shard_count(); ++k) ops.emplace(k, op);
+  std::size_t n = 0;
+  commit_multi(ops, [&] {
+    for (std::size_t k = 0; k < shard_count(); ++k)
+      n += update_shard_locked(*shards_[k], query, update);
+  });
   return n;
 }
 
-std::size_t Collection::update_locked(const Json& query, const Json& update) {
+std::size_t Collection::update_shard_locked(Shard& s, const Json& query,
+                                            const Json& update) {
   std::size_t n = 0;
-  for (auto& d : docs_) {
+  for (auto& d : s.docs) {
     if (!matches(d, query)) continue;
-    unindex_doc(d);
+    unindex_doc(s, d);
     for (const auto& [k, v] : update.as_object()) {
       if (k == "_id") continue;  // ids are immutable
       d[k] = v;
     }
-    index_doc(d);
+    index_doc(s, d);
     ++n;
   }
   return n;
 }
 
 void Collection::create_index(const std::string& path) {
-  std::unique_lock lock(*mu_);
-  auto it = indexes_.find(path);
-  if (it == indexes_.end())
-    it = indexes_.emplace(path, engine::OrderedIndex(path)).first;
-  else
-    it->second.clear();
-  for (const auto& d : docs_) it->second.add(d, d.at("_id").as_int());
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& s : shards_) locks.emplace_back(s->mu);
+  if (std::find(index_paths_.begin(), index_paths_.end(), path) ==
+      index_paths_.end())
+    index_paths_.push_back(path);
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    auto it = s.indexes.find(path);
+    if (it == s.indexes.end())
+      it = s.indexes.emplace(path, engine::OrderedIndex(path)).first;
+    else
+      it->second.clear();
+    for (const auto& [id, p] : s.id_pos) it->second.add(s.docs[p], id);
+  }
 }
 
 bool Collection::has_index(const std::string& path) const {
-  std::shared_lock lock(*mu_);
-  return indexes_.find(path) != indexes_.end();
+  std::shared_lock lock(shards_[0]->mu);
+  return std::find(index_paths_.begin(), index_paths_.end(), path) !=
+         index_paths_.end();
 }
 
 std::vector<std::string> Collection::index_paths() const {
-  std::shared_lock lock(*mu_);
-  std::vector<std::string> out;
-  for (const auto& [path, idx] : indexes_) {
-    (void)idx;
-    out.push_back(path);
+  std::shared_lock lock(shards_[0]->mu);
+  return index_paths_;
+}
+
+void Collection::for_each(const std::function<bool(const Json&)>& fn) const {
+  const auto locks = lock_shared_all(shards_);
+  // K-way merge over the per-shard id maps: ids are globally unique and
+  // monotone, so picking the smallest head each step IS insertion order.
+  struct Cursor {
+    std::map<std::int64_t, std::size_t>::const_iterator it, end;
+    const Shard* s;
+  };
+  std::vector<Cursor> cur;
+  cur.reserve(shards_.size());
+  for (const auto& sp : shards_)
+    cur.push_back({sp->id_pos.begin(), sp->id_pos.end(), sp.get()});
+  while (true) {
+    Cursor* best = nullptr;
+    for (auto& c : cur)
+      if (c.it != c.end && (!best || c.it->first < best->it->first)) best = &c;
+    if (!best) return;
+    if (!fn(best->s->docs[best->it->second])) return;
+    ++best->it;
   }
+}
+
+std::vector<Json> Collection::all() const {
+  std::vector<Json> out;
+  out.reserve(size());
+  for_each([&](const Json& d) {
+    out.push_back(d);
+    return true;
+  });
   return out;
 }
 
-void Collection::index_doc(const Json& doc) {
-  const std::int64_t id = doc.at("_id").as_int();
-  for (auto& [path, idx] : indexes_) {
-    (void)path;
-    idx.add(doc, id);
+void Collection::rebuild_shard_derived(Shard& s) {
+  s.id_pos.clear();
+  for (std::size_t i = 0; i < s.docs.size(); ++i)
+    s.id_pos[s.docs[i].at("_id").as_int()] = i;
+  s.indexes.clear();
+  for (const auto& path : index_paths_) {
+    engine::OrderedIndex idx(path);
+    for (const auto& [id, p] : s.id_pos) idx.add(s.docs[p], id);
+    s.indexes.emplace(path, std::move(idx));
   }
 }
 
-void Collection::unindex_doc(const Json& doc) {
-  const std::int64_t id = doc.at("_id").as_int();
-  for (auto& [path, idx] : indexes_) {
-    (void)path;
-    idx.erase(doc, id);
+void Collection::configure_shards(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  std::vector<Json> docs;
+  for (auto& sp : shards_)
+    for (auto& [id, p] : sp->id_pos) {
+      (void)id;
+      docs.push_back(std::move(sp->docs[p]));
+    }
+  // Re-bucket in ascending-id order so each new shard's vector is again in
+  // insertion order.
+  std::sort(docs.begin(), docs.end(), [](const Json& a, const Json& b) {
+    return a.at("_id").as_int() < b.at("_id").as_int();
+  });
+  shards_.clear();
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  for (auto& d : docs) {
+    const std::size_t k = shard_of(d.at("_id").as_int());
+    shards_[k]->docs.push_back(std::move(d));
   }
-}
-
-void Collection::rebuild_derived() {
-  id_pos_.clear();
-  for (std::size_t i = 0; i < docs_.size(); ++i)
-    id_pos_[docs_[i].at("_id").as_int()] = i;
-  for (auto& [path, idx] : indexes_) {
-    (void)path;
-    idx.clear();
-    for (const auto& d : docs_) idx.add(d, d.at("_id").as_int());
-  }
+  for (auto& sp : shards_) rebuild_shard_derived(*sp);
 }
 
 void Collection::restore(const Json& j) {
-  next_id_ = j.at("next_id").as_int();
-  docs_.clear();
-  for (const auto& d : j.at("docs").as_array()) docs_.push_back(d);
-  rebuild_derived();
+  std::int64_t next = j.at("next_id").as_int();
+  for (auto& sp : shards_) {
+    sp->docs.clear();
+    sp->id_pos.clear();
+    sp->indexes.clear();
+  }
+  for (const auto& d : j.at("docs").as_array()) {
+    const std::int64_t id = d.at("_id").as_int();
+    next = std::max(next, id + 1);
+    shards_[shard_of(id)]->docs.push_back(d);
+  }
+  next_id_.store(next);
+  for (auto& sp : shards_) rebuild_shard_derived(*sp);
 }
 
-void Collection::replay_insert(Json document) {
-  std::unique_lock lock(*mu_);
-  const std::int64_t id = document.at("_id").as_int();
-  next_id_ = std::max(next_id_, id + 1);
-  id_pos_[id] = docs_.size();
-  index_doc(document);
-  docs_.push_back(std::move(document));
+void Collection::restore_shard(std::size_t shard, const Json& j) {
+  fold_next_id(next_id_, j.at("next_id").as_int());
+  Shard& s = *shards_[shard];
+  s.docs.clear();
+  for (const auto& d : j.at("docs").as_array()) {
+    fold_next_id(next_id_, d.at("_id").as_int() + 1);
+    s.docs.push_back(d);
+  }
+  rebuild_shard_derived(s);
 }
 
-void Collection::apply_op(const Json& op) {
+void Collection::replay_shard_op(std::size_t shard, const Json& op) {
+  Shard& s = *shards_[shard];
   const std::string& kind = op.at("o").as_string();
   if (kind == "i") {
-    replay_insert(op.at("d"));
+    insert_into_shard(s, op.at("d"));
   } else if (kind == "b") {
-    // insert_batch: one frame, applied whole (batch crash atomicity).
-    for (const auto& d : op.at("ds").as_array()) replay_insert(d);
+    // One frame (or one commit member) = this shard's slice of the batch,
+    // applied whole (batch crash atomicity).
+    for (const auto& d : op.at("ds").as_array()) insert_into_shard(s, d);
   } else if (kind == "u") {
-    // Public update(): the engine's replay flag suppresses re-logging.
-    update(op.at("q"), op.at("u"));
+    update_shard_locked(s, op.at("q"), op.at("u"));
   } else if (kind == "r") {
-    remove(op.at("q"));
+    remove_shard_locked(s, op.at("q"));
   } else {
     throw std::runtime_error("wal replay: unknown op '" + kind +
                              "' in collection " + name_);
   }
 }
 
+Json Collection::shard_to_json(std::size_t shard) const {
+  const Shard& s = *shards_[shard];
+  Json j = Json::object();
+  j["name"] = name_;
+  j["next_id"] = next_id_.load();
+  Json docs = Json::array();
+  for (const auto& [id, p] : s.id_pos) {
+    (void)id;
+    docs.push_back(s.docs[p]);
+  }
+  j["docs"] = std::move(docs);
+  return j;
+}
+
 Json Collection::to_json() const {
   Json j = Json::object();
   j["name"] = name_;
-  j["next_id"] = next_id_;
+  j["next_id"] = next_id_.load();
   Json docs = Json::array();
-  for (const auto& d : docs_) docs.push_back(d);
+  for_each([&](const Json& d) {
+    docs.push_back(d);
+    return true;
+  });
   j["docs"] = std::move(docs);
   return j;
 }
@@ -448,7 +807,10 @@ Collection Collection::from_json(const Json& j) {
 Collection& DocumentStore::collection(const std::string& name) {
   auto it = collections_.find(name);
   if (it == collections_.end()) {
-    it = collections_.emplace(name, Collection(name)).first;
+    it = collections_
+             .emplace(name, Collection(name, engine_ ? engine_->shard_count()
+                                                     : 1))
+             .first;
     if (engine_) it->second.attach_engine(engine_.get());
   }
   return it->second;
@@ -467,6 +829,87 @@ std::vector<std::string> DocumentStore::collection_names() const {
     names.push_back(name);
   }
   return names;
+}
+
+DocumentStore::AtomicInsert DocumentStore::insert_atomic(
+    std::map<std::string, std::vector<Json>> docs) {
+  AtomicInsert out;
+  for (const auto& [name, ds] : docs) {
+    (void)name;
+    for (const auto& d : ds)
+      if (!d.is_object())
+        throw json::JsonError(
+            "DocumentStore::insert_atomic: every document must be an object");
+  }
+
+  // Resolve targets first: collection() may create entries, which must not
+  // happen while shard locks are held.
+  struct Member {
+    Collection* c = nullptr;
+    std::size_t shard = 0;
+    std::vector<Json> docs;
+  };
+  std::vector<Member> members;  // (collection name asc, shard asc) — the
+                                // engine lock order for cross-shard commits
+  for (auto& [name, ds] : docs) {
+    if (ds.empty()) continue;
+    Collection& c = collection(name);
+    const std::int64_t base =
+        c.next_id_.fetch_add(static_cast<std::int64_t>(ds.size()));
+    auto& ids = out.ids[name];
+    ids.reserve(ds.size());
+    std::map<std::size_t, std::vector<Json>> by_shard;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const std::int64_t id = base + static_cast<std::int64_t>(i);
+      ds[i]["_id"] = id;
+      ids.push_back(id);
+      by_shard[c.shard_of(id)].push_back(std::move(ds[i]));
+    }
+    for (auto& [k, slice] : by_shard) {
+      Member m;
+      m.c = &c;
+      m.shard = k;
+      m.docs = std::move(slice);
+      members.push_back(std::move(m));
+    }
+  }
+  if (members.empty()) return out;
+
+  const auto apply = [&] {
+    for (auto& m : members)
+      for (auto& d : m.docs)
+        m.c->insert_into_shard(*m.c->shards_[m.shard], std::move(d));
+  };
+
+  if (!engine_) {
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(members.size());
+    for (const auto& m : members) locks.emplace_back(m.c->shards_[m.shard]->mu);
+    apply();
+    return out;
+  }
+
+  {
+    std::shared_lock gate(engine_->commit_gate());
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(members.size());
+    for (const auto& m : members) locks.emplace_back(m.c->shards_[m.shard]->mu);
+    std::vector<engine::StorageEngine::CommitMember> cms;
+    cms.reserve(members.size());
+    for (const auto& m : members) {
+      Json batch = Json::array();
+      for (const auto& d : m.docs) batch.as_array().push_back(d);
+      Json op = Json::object();
+      op["o"] = "b";
+      op["ds"] = std::move(batch);
+      cms.push_back({m.c, m.shard, std::move(op)});
+    }
+    out.ticket = engine_->log_commit(cms);  // write-ahead: log before apply
+    apply();
+    for (const auto& m : members) engine_->maybe_checkpoint(*m.c, m.shard);
+  }
+  engine_->maybe_compact_commits();
+  return out;
 }
 
 void DocumentStore::export_json(const std::filesystem::path& dir) const {
@@ -509,11 +952,7 @@ void DocumentStore::sync() {
 }
 
 void DocumentStore::checkpoint_all() {
-  if (!engine_) return;
-  for (auto& [name, c] : collections_) {
-    (void)name;
-    engine_->checkpoint(c);
-  }
+  if (engine_) engine_->checkpoint_all();
 }
 
 }  // namespace gptc::db

@@ -13,24 +13,39 @@
 // plus top-level/nested $and, $or, $not. Field paths use dot notation and
 // may step through arrays with numeric segments ("tuning_parameters.grid.0").
 //
+// A collection is internally split into N shards (N = 1 unless the store
+// was opened with more): documents hash to a shard by id, and each shard
+// owns its docs, its secondary-index set, its shared_mutex and — in
+// durable mode — its own WAL and snapshot, so writers to different shards
+// never contend. The split is invisible at this API: queries fan out under
+// every shard's reader lock and merge by id, which IS insertion order
+// (ids are assigned from one monotone counter), so results are
+// byte-identical to the unsharded store. Mutations that span shards (a
+// batch insert whose documents hash apart, update/remove at N > 1) are
+// logged as one logical commit record and applied under every affected
+// shard's writer lock — readers and crash recovery observe none or all of
+// such a mutation.
+//
 // Two persistence modes:
 //  - export_json()/load(): one pretty-printed JSON file per collection —
 //    diffable and inspectable, but the rewrite is not crash-atomic. Kept as
 //    the explicit export format.
-//  - open_durable(): the storage engine in src/db/engine — per-collection
-//    write-ahead log with CRC32/SipHash-framed records and group commit,
-//    atomic snapshot + compaction, and crash recovery that tolerates a torn
-//    final record. The Collection/DocumentStore API is identical in both
-//    modes.
+//  - open_durable(): the storage engine in src/db/engine — per-shard
+//    write-ahead logs with CRC32/SipHash-framed records and group commit,
+//    atomic snapshots + compaction, parallel crash recovery that tolerates
+//    a torn final record per log, and cross-collection atomic batches
+//    (insert_atomic). The Collection/DocumentStore API is identical in
+//    both modes.
 //
 // Collections also support ordered secondary indexes on dot-paths
 // (create_index): $eq/$in/$gt/$gte/$lt/$lte predicates on an indexed path
 // are routed through the index (results stay byte-identical to a scan —
 // the index only narrows candidates), everything else falls back to the
-// full scan. Reads take a shared lock and mutations an exclusive lock, so
-// many readers / one writer per collection is safe.
+// full scan; count()/exists() additionally answer straight from the index
+// (no document materialization) when the index serves the query exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -60,42 +75,44 @@ const Json* lookup_path(const Json& document, const std::string& path);
 
 class Collection {
  public:
-  explicit Collection(std::string name)
-      : name_(std::move(name)), mu_(std::make_unique<std::shared_mutex>()) {}
+  explicit Collection(std::string name, std::size_t shards = 1);
 
-  Collection(Collection&&) = default;
-  Collection& operator=(Collection&&) = default;
+  Collection(Collection&&) noexcept;
+  Collection& operator=(Collection&&) noexcept;
 
   const std::string& name() const { return name_; }
-  std::size_t size() const { return docs_.size(); }
-  bool empty() const { return docs_.empty(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
 
   /// Inserts a document (must be a JSON object); assigns and returns its
   /// "_id". In durable mode the op is WAL-logged before it is applied.
   std::int64_t insert(Json document);
 
-  /// Result of an atomic batch insert: the assigned ids plus the WAL
-  /// sequence of the batch record (0 when the store is not durable) — the
-  /// token a caller hands to StorageEngine::wait_durable for a durability
-  /// ack.
+  /// Result of an atomic batch insert: the assigned ids plus the
+  /// durability ticket callers hand to StorageEngine::wait_durable for an
+  /// ack (ticket.seq 0 when the store is not durable). commit_seq mirrors
+  /// ticket.seq for callers that only care whether there is anything to
+  /// wait for.
   struct BatchInsert {
     std::vector<std::int64_t> ids;
+    engine::CommitTicket ticket;
     std::uint64_t commit_seq = 0;
   };
 
-  /// Inserts every document under ONE writer lock, WAL-logged as ONE
-  /// record before any is applied. Readers — who take the shared lock —
-  /// can never observe a half-applied batch, and because the whole batch
-  /// is a single WAL frame, crash recovery replays it entirely or not at
-  /// all (never a partial batch). Throws before any mutation if a
-  /// document is not an object.
+  /// Inserts every document atomically: WAL-logged as ONE record (a shard
+  /// batch frame, or a logical commit record when the batch spans shards)
+  /// before any is applied, and applied under every affected shard's
+  /// writer lock. Readers can never observe a half-applied batch, and
+  /// crash recovery replays it entirely or not at all. Throws before any
+  /// mutation if a document is not an object.
   BatchInsert insert_batch(std::vector<Json> documents);
 
   /// All documents matching the query, in insertion order.
   std::vector<Json> find(const Json& query) const;
 
   /// Like find(), but additionally applies `pred` to each query match
-  /// while still holding the shared lock, copying only documents that
+  /// while still holding the shared lock(s), copying only documents that
   /// pass both. Callers filtering an indexed partition down to a few
   /// hits avoid materialising the whole partition (find() copies every
   /// candidate's JSON tree; on hot read paths that copy dominates the
@@ -106,7 +123,15 @@ class Collection {
   /// First match or null Json.
   Json find_one(const Json& query) const;
 
+  /// Matching-document count. Served index-only — without touching a
+  /// single document — when the query is one indexed field whose condition
+  /// the index answers exactly (OrderedIndex::exact); otherwise it falls
+  /// back to the candidate/scan path with the full predicate.
   std::size_t count(const Json& query) const;
+
+  /// Whether any document matches. Index-only when count() would be, and
+  /// an early-exit scan otherwise — either way it stops at the first hit.
+  bool exists(const Json& query) const;
 
   /// Removes matching documents; returns how many were removed.
   std::size_t remove(const Json& query);
@@ -115,20 +140,27 @@ class Collection {
   /// all matches; returns how many documents changed.
   std::size_t update(const Json& query, const Json& update);
 
-  /// Declares (or rebuilds) an ordered secondary index on a dot-path.
-  /// Idempotent; existing documents are indexed immediately. Index
-  /// definitions are in-memory only — reopening a store re-declares them.
+  /// Declares (or rebuilds) an ordered secondary index on a dot-path
+  /// (maintained per shard). Idempotent; existing documents are indexed
+  /// immediately. Index definitions are in-memory only — reopening a store
+  /// re-declares them.
   void create_index(const std::string& path);
   bool has_index(const std::string& path) const;
   std::vector<std::string> index_paths() const;
 
-  /// Raw document access, in insertion order. NOT thread-safe against
-  /// concurrent writers: unlike find/count, iteration of the returned
-  /// reference happens outside the collection lock.
-  const std::vector<Json>& all() const { return docs_; }
+  /// Copies every document, in insertion order. (Pre-sharding this
+  /// returned a reference into the single doc vector; with shards the
+  /// merged view has to be materialized.)
+  std::vector<Json> all() const;
 
-  /// Serialization for persistence: {"name":..., "next_id":..., "docs":[...]}.
-  /// Not internally locked (snapshots call it under the writer lock).
+  /// Visits every document in insertion order under the shard reader
+  /// locks, without copying; `fn` returns false to stop early and must not
+  /// call back into the collection.
+  void for_each(const std::function<bool(const Json&)>& fn) const;
+
+  /// Serialization for persistence: {"name":..., "next_id":..., "docs":[...]}
+  /// with docs merged across shards in insertion order. Takes the shard
+  /// reader locks itself unless the caller already holds them exclusively.
   Json to_json() const;
   static Collection from_json(const Json& j);
 
@@ -136,34 +168,71 @@ class Collection {
   friend class DocumentStore;
   friend class engine::StorageEngine;
 
+  /// One hash partition of the collection. Documents route by
+  /// `_id % shard_count`, so sequential ids round-robin across shards and
+  /// concurrent writers spread evenly; within a shard docs stay in
+  /// insertion order (= ascending id, since ids are monotone).
+  struct Shard {
+    std::vector<Json> docs;
+    std::map<std::int64_t, std::size_t> id_pos;
+    std::map<std::string, engine::OrderedIndex> indexes;
+    mutable std::shared_mutex mu;
+  };
+
   // --- engine plumbing (all called with or before any concurrent use) ----
   void attach_engine(engine::StorageEngine* e) { engine_ = e; }
-  /// Replaces state from a snapshot / legacy export (to_json shape).
+  /// Re-buckets the collection into `shards` empty shards (must be called
+  /// before concurrent use; existing docs are redistributed).
+  void configure_shards(std::size_t shards);
+  /// Replaces state from a full snapshot / legacy export (to_json shape),
+  /// distributing docs across the current shards.
   void restore(const Json& j);
-  /// Applies one WAL op payload during replay (logging suppressed by the
-  /// engine's replay flag).
-  void apply_op(const Json& op);
-  /// Insert preserving the already-assigned "_id" (WAL replay).
-  void replay_insert(Json document);
+  /// Replaces ONE shard's state from its snapshot (to_json shape whose
+  /// docs are that shard's subset); folds next_id forward.
+  void restore_shard(std::size_t shard, const Json& j);
+  /// Applies one WAL op payload to one shard during replay (no logging).
+  void replay_shard_op(std::size_t shard, const Json& op);
+  /// to_json() restricted to one shard (snapshot payload). Caller holds
+  /// the shard lock or has exclusive use.
+  Json shard_to_json(std::size_t shard) const;
 
-  // --- internals (callers hold the appropriate lock) ---------------------
-  std::size_t update_locked(const Json& query, const Json& update);
-  std::size_t remove_locked(const Json& query);
-  void index_doc(const Json& doc);
-  void unindex_doc(const Json& doc);
-  void rebuild_derived();  // id lookup + all indexes, from docs_
-  const Json* doc_by_id(std::int64_t id) const;
-  /// Index-served candidate ids (sorted = insertion order) for a query, or
-  /// nullopt when no declared index can narrow it.
-  std::optional<std::vector<std::int64_t>> plan(const Json& query) const;
+  // --- internals ---------------------------------------------------------
+  std::size_t shard_of(std::int64_t id) const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(id)) %
+           shards_.size();
+  }
+  void insert_into_shard(Shard& s, Json document);  // caller holds s.mu
+  std::size_t update_shard_locked(Shard& s, const Json& query,
+                                  const Json& update);
+  std::size_t remove_shard_locked(Shard& s, const Json& query);
+  static void index_doc(Shard& s, const Json& doc);
+  static void unindex_doc(Shard& s, const Json& doc);
+  void rebuild_shard_derived(Shard& s);
+  static const Json* doc_by_id(const Shard& s, std::int64_t id);
+  /// Index-served candidate ids (sorted = insertion order) within one
+  /// shard, or nullopt when no declared index can narrow the query.
+  std::optional<std::vector<std::int64_t>> plan(const Shard& s,
+                                                const Json& query) const;
+  /// The single {path: condition} entry an index answers exactly for
+  /// count()/exists(), or nullptr.
+  const engine::OrderedIndex* exact_index(const Shard& s,
+                                          const Json& query,
+                                          const Json** condition) const;
+  /// Merges per-shard result vectors (each in ascending-id order) into
+  /// global insertion order.
+  static std::vector<Json> merge_by_id(std::vector<std::vector<Json>> parts);
+  /// Routes an already-built per-shard op set through the engine's logical
+  /// commit record (durable) and applies it; `apply` runs under all
+  /// affected shard writer locks.
+  engine::CommitTicket commit_multi(
+      const std::map<std::size_t, Json>& ops_by_shard,
+      const std::function<void()>& apply);
 
   std::string name_;
-  std::int64_t next_id_ = 1;
-  std::vector<Json> docs_;
-  std::map<std::int64_t, std::size_t> id_pos_;
-  std::map<std::string, engine::OrderedIndex> indexes_;
+  std::atomic<std::int64_t> next_id_{1};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::string> index_paths_;  // declared defs, mirrored per shard
   engine::StorageEngine* engine_ = nullptr;  // owned by the DocumentStore
-  mutable std::unique_ptr<std::shared_mutex> mu_;
 };
 
 class DocumentStore {
@@ -177,6 +246,22 @@ class DocumentStore {
   const Collection* find_collection(const std::string& name) const;
   std::vector<std::string> collection_names() const;
 
+  /// Result of insert_atomic: assigned ids per collection plus the
+  /// durability ticket of the commit record.
+  struct AtomicInsert {
+    std::map<std::string, std::vector<std::int64_t>> ids;
+    engine::CommitTicket ticket;
+  };
+
+  /// Inserts documents into SEVERAL collections as one logical commit —
+  /// the paper's crowd upload writes problem, machine, and run records
+  /// that must land whole-or-nothing. In durable mode every member is
+  /// covered by ONE engine commit-WAL record, so crash recovery yields
+  /// all of them or none; in-memory visibility is all-or-nothing per
+  /// collection (each collection's members apply under all of its shard
+  /// writer locks). Throws before any mutation on a non-object document.
+  AtomicInsert insert_atomic(std::map<std::string, std::vector<Json>> docs);
+
   /// Writes every collection as <dir>/<name>.json (creating dir) — the
   /// diffable, inspectable export. Not crash-atomic; durable stores persist
   /// through their WAL/snapshots and use this only for exports.
@@ -188,21 +273,24 @@ class DocumentStore {
   /// in-memory mode; no durability attached).
   static DocumentStore load(const std::filesystem::path& dir);
 
-  /// Opens a directory with the storage engine: replays snapshots + WALs
-  /// (bootstrapping from *.json exports if no engine files exist yet) and
-  /// WAL-logs every subsequent mutation. See src/db/engine/engine.hpp.
+  /// Opens a directory with the storage engine: replays snapshots + shard
+  /// WALs (bootstrapping from *.json exports if no engine files exist yet)
+  /// and WAL-logs every subsequent mutation. See src/db/engine/engine.hpp.
   static DocumentStore open_durable(const std::filesystem::path& dir,
                                     engine::EngineOptions options = {});
 
   bool durable() const { return engine_ != nullptr; }
   engine::StorageEngine* storage_engine() { return engine_.get(); }
 
-  /// Durable mode: fsync pending group-commit batches / force snapshots and
-  /// WAL truncation for every collection. No-ops when not durable.
+  /// Durable mode: fsync pending group-commit batches / force snapshots
+  /// and WAL truncation for every shard of every collection. No-ops when
+  /// not durable.
   void sync();
   void checkpoint_all();
 
  private:
+  friend class engine::StorageEngine;
+
   std::map<std::string, Collection> collections_;
   std::unique_ptr<engine::StorageEngine> engine_;
 };

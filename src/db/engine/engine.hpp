@@ -1,30 +1,63 @@
 // StorageEngine — the durability subsystem under DocumentStore.
 //
-// One engine owns one directory; each collection gets a shard with its own
-// write-ahead log (`<name>.wal`) and snapshot (`<name>.snapshot`). The
-// existing Collection/DocumentStore API sits unchanged on top: every
-// insert/update/remove appends an operation frame to the WAL *before*
-// mutating memory (write-ahead), and once a shard's WAL outgrows
-// `checkpoint_wal_bytes` the collection is checkpointed — an atomic
-// snapshot write followed by WAL truncation (compaction). Opening a
-// directory replays snapshot + WAL tail, tolerating a torn final record.
+// One engine owns one directory. Every collection is split into N shards
+// (uniform per store, N = EngineOptions::shards or whatever the directory
+// was written with), and each shard owns its own write-ahead log and
+// snapshot, so writers to different shards never share an fsync batch or a
+// WAL mutex. The existing Collection/DocumentStore API sits unchanged on
+// top: every insert/update/remove appends an operation frame to its
+// shard's WAL *before* mutating memory (write-ahead), and once a shard's
+// WAL outgrows `checkpoint_wal_bytes` that shard alone is checkpointed —
+// an atomic snapshot write followed by WAL truncation (compaction).
+// Opening a directory replays every shard's snapshot + WAL tail in
+// parallel (src/parallel), tolerating a torn final record per log.
 //
-// WAL operation payloads (compact JSONL, see wal.hpp for framing):
+// On-disk layout (N = shard count):
+//
+//   engine.manifest               {"format":1,"shards":N} — atomic flip
+//   <coll>.wal / <coll>.snapshot              when N == 1 (legacy layout)
+//   <coll>.s<k>of<N>.wal / ...snapshot        when N  > 1, k in [0, N)
+//   engine.commit.s<N>.wal        logical cross-shard commit records
+//
+// N == 1 keeps the exact pre-sharding file names, so directories written
+// by older builds open unchanged. Opening with a different
+// EngineOptions::shards than the directory holds migrates it: the store is
+// recovered at the old count, repartitioned in memory, written out as
+// full-coverage snapshots under the new names, and committed by atomically
+// rewriting engine.manifest — the single flip point. Files whose embedded
+// shard count disagrees with the manifest are debris from a crashed
+// migration (the flip never happened, or cleanup never finished) and are
+// deleted on open; a missing manifest next to sharded files is refused.
+//
+// Shard WAL operation payloads (compact JSONL, see wal.hpp for framing):
 //
 //   {"o":"i","d":{...doc with _id...}}       insert
+//   {"o":"b","ds":[{...},...]}               atomic batch insert
 //   {"o":"u","q":{...},"u":{...}}            update(query, fields)
 //   {"o":"r","q":{...}}                      remove(query)
 //
-// Update/remove are logged as their (deterministic) queries, so replaying
-// the log reproduces the exact committed state bit for bit.
+// Logical cross-shard commits: a mutation spanning several shards or
+// collections (a multi-shard batch insert, an N>1 update/remove, a
+// DocumentStore::insert_atomic crowd upload touching problem + machine +
+// runs collections) is ONE frame in the engine commit WAL:
 //
-// Concurrency: mutating entry points (log_op / maybe_checkpoint /
-// checkpoint) are serialized per collection by the owning Collection's
-// writer lock, but sync() and wal_bytes() may arrive from any thread (a
-// DocumentStore::sync() racing a writer on another collection's lock), so
-// each WalWriter additionally serializes its own state behind an internal
-// mutex; the shard map itself is guarded for concurrent first-touch of
-// different collections.
+//   {"m":[{"c":<coll>,"s":<shard>,"q":<seq>,"op":{...}}, ...]}
+//
+// Each member shard only *reserves* a slot in its own sequence space
+// (WalWriter::reserve — no frame), and the commit record carries those
+// seqs, so replay merges a shard's local frames with its commit members
+// back into exact application order. Atomicity is the single frame:
+// recovery applies every member or — when the record never reached the
+// disk — none, and the durability ack (CommitTicket) waits on the commit
+// WAL alone. Before any shard snapshot is written the commit WAL is
+// fsynced, so a snapshot can never durably cover one member of a commit
+// whose record (and hence whose other members) a power loss could erase.
+//
+// Concurrency and lock order (outermost first):
+//   commit_gate (shared for cross-shard commits, exclusive for commit-WAL
+//   compaction) -> collection shard shared_mutexes (collection name order,
+//   then ascending shard index) -> WalWriter/GroupCommitter internal
+//   mutexes (leaves). Single-shard mutators skip the gate entirely.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +66,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,7 +87,9 @@ struct EngineOptions {
   /// fsync once per this many WAL appends (group commit); 1 = every append.
   /// Ignored when async_commit is on (the commit thread batches instead).
   std::size_t group_commit = 16;
-  /// Checkpoint (snapshot + WAL truncation) when a shard's WAL exceeds this.
+  /// Checkpoint (snapshot + WAL truncation) when a shard's WAL exceeds
+  /// this; the engine commit WAL triggers a full compaction at the same
+  /// threshold.
   std::uint64_t checkpoint_wal_bytes = 1u << 20;
   /// Keyed SipHash WAL checksums instead of CRC32 (see wal.hpp).
   std::optional<SipHashKey> wal_checksum_key;
@@ -62,8 +98,24 @@ struct EngineOptions {
   /// that need a durability ack block in wait_durable(). This is the mode
   /// the network server runs in.
   bool async_commit = false;
+  /// Shards per collection: 0 = whatever the directory holds (1 for a
+  /// fresh one); any other value migrates the directory on open if it
+  /// disagrees.
+  std::size_t shards = 0;
+  /// Worker threads for parallel shard recovery; 0 = hardware concurrency.
+  std::size_t recovery_threads = 0;
   /// Test hook; not owned, may be nullptr.
   FaultInjector* fault = nullptr;
+};
+
+/// Durability token: the WAL a mutation's commit frame lives in plus its
+/// sequence there. seq 0 means "nothing to wait for" (non-durable store or
+/// empty batch). Returned by Collection/DocumentStore mutators and handed
+/// back to StorageEngine::wait_durable — the server acks an upload only
+/// after its ticket resolves.
+struct CommitTicket {
+  std::string wal;
+  std::uint64_t seq = 0;
 };
 
 class StorageEngine {
@@ -73,57 +125,106 @@ class StorageEngine {
   const std::filesystem::path& dir() const { return dir_; }
   const EngineOptions& options() const { return opts_; }
 
-  /// Rebuilds every collection found in the directory (snapshot, WAL, or a
-  /// legacy `<name>.json` export used as a one-time migration source) into
-  /// `store`, attaching the engine to each. Called once by
+  /// Shards per collection for this store (resolved against the directory
+  /// manifest; stable after recover()).
+  std::size_t shard_count() const { return shard_count_; }
+
+  /// WAL/snapshot file stem for one shard: "<coll>" when `of` is 1
+  /// (legacy-compatible), else "<coll>.s<k>of<of>". Doubles as the
+  /// GroupCommitter key and the argument to wal_bytes()/wait_durable().
+  static std::string shard_stem(const std::string& collection,
+                                std::size_t shard, std::size_t of);
+
+  /// Stem of the engine commit WAL for the current shard count.
+  std::string commit_wal_stem() const;
+
+  /// Rebuilds every collection found in the directory (snapshots, shard
+  /// WALs, commit-WAL members, or a legacy `<name>.json` export used as a
+  /// one-time migration source) into `store`, attaching the engine to
+  /// each; shards recover in parallel. Called once by
   /// DocumentStore::open_durable before the store is visible to anyone.
-  /// Throws std::runtime_error when an artifact is rejected rather than
-  /// merely torn: a snapshot that exists but fails its checksum/parse, or a
-  /// WAL with mid-log corruption / a wrong checksum key — refusing to open
+  /// Performs the shard-count migration when EngineOptions::shards
+  /// disagrees with the directory. Throws std::runtime_error when an
+  /// artifact is rejected rather than merely torn: a snapshot that exists
+  /// but fails its checksum/parse, a WAL with mid-log corruption / a wrong
+  /// checksum key, or sharded files without a manifest — refusing to open
   /// beats silently discarding committed records.
   void recover(DocumentStore& store);
 
   /// Non-fatal recovery notes from the last recover() call — one entry per
-  /// collection whose WAL ended in a torn final record (truncated back to
-  /// the last complete frame).
+  /// shard whose WAL ended in a torn final record (truncated back to the
+  /// last complete frame). Deterministic order (collection, then shard).
   const std::vector<std::string>& recovery_warnings() const {
     return recovery_warnings_;
   }
 
-  /// Appends one op frame for `c`'s shard and returns its WAL sequence
-  /// number (0 while replaying). Called by Collection mutators under their
-  /// writer lock, before the op is applied in memory.
-  std::uint64_t log_op(Collection& c, const json::Json& op);
+  /// Appends one op frame to shard `shard` of `c` and returns its WAL
+  /// sequence number (0 while replaying). Called by Collection mutators
+  /// under that shard's writer lock, before the op is applied in memory.
+  std::uint64_t log_op(Collection& c, std::size_t shard, const json::Json& op);
 
-  /// Highest WAL sequence logged for `collection` (0 if no shard yet).
-  std::uint64_t last_logged_seq(const std::string& collection) const;
+  /// One member of a logical cross-shard commit.
+  struct CommitMember {
+    const Collection* collection = nullptr;
+    std::size_t shard = 0;
+    json::Json op;
+  };
 
-  /// Blocks until every op of `collection` with sequence <= `seq` is
-  /// durable (fsynced WAL frames or a covering snapshot). With
-  /// async_commit this waits on the commit thread and throws CrashInjected
-  /// if it hit an armed fault; otherwise it fsyncs the shard inline. The
-  /// server acks uploads only after this returns. seq 0 is a no-op.
-  void wait_durable(const std::string& collection, std::uint64_t seq);
+  /// Appends ONE commit-WAL frame covering every member, reserving each
+  /// member's slot in its shard's sequence space first. The caller must
+  /// hold commit_gate() shared plus every member shard's writer lock, and
+  /// applies the members in memory only after this returns. Throws (and
+  /// leaves nothing to recover — reserved slots are mere gaps) at the
+  /// CommitReserve/CommitAppend fault points and on I/O failure.
+  CommitTicket log_commit(const std::vector<CommitMember>& members);
 
-  /// WAL bytes known durable (last fsync) for one shard — the offset crash
+  /// Outermost lock of the engine: cross-shard commits hold it shared,
+  /// commit-WAL compaction exclusively. See the lock-order note above.
+  std::shared_mutex& commit_gate() { return commit_gate_; }
+
+  /// Highest WAL sequence logged for the WAL keyed `wal` — a shard_stem()
+  /// or commit_wal_stem() value (0 if that WAL does not exist yet).
+  std::uint64_t last_logged_seq(const std::string& wal) const;
+
+  /// Blocks until every frame of WAL `wal` with sequence <= `seq` is
+  /// durable (fsynced frames or a covering snapshot). With async_commit
+  /// this waits on the commit thread and throws CrashInjected if it hit an
+  /// armed fault; otherwise it fsyncs inline. seq 0 is a no-op.
+  void wait_durable(const std::string& wal, std::uint64_t seq);
+  void wait_durable(const CommitTicket& ticket) {
+    wait_durable(ticket.wal, ticket.seq);
+  }
+
+  /// WAL bytes known durable (last fsync) for one WAL — the offset crash
   /// tests truncate to when modelling a power loss.
-  std::uint64_t wal_synced_bytes(const std::string& collection) const;
+  std::uint64_t wal_synced_bytes(const std::string& wal) const;
 
-  /// Checkpoints `c` if its WAL crossed the threshold. Called by Collection
-  /// mutators under their writer lock, after the op is applied.
-  void maybe_checkpoint(Collection& c);
+  /// Current size of one WAL (0 if it does not exist yet).
+  std::uint64_t wal_bytes(const std::string& wal) const;
 
-  /// Forces a checkpoint of `c` (takes `c`'s writer lock itself).
+  /// Checkpoints shard `shard` of `c` if its WAL crossed the threshold.
+  /// Called by Collection mutators under that shard's writer lock, after
+  /// the op is applied.
+  void maybe_checkpoint(Collection& c, std::size_t shard);
+
+  /// Forces a checkpoint of every shard of `c` (takes the shard locks
+  /// itself).
   void checkpoint(Collection& c);
 
-  /// fsyncs all shards' pending group-commit batches.
+  /// Full compaction: checkpoints every shard of every collection and
+  /// truncates the engine commit WAL (whose records the fresh snapshots
+  /// now cover). Takes commit_gate() exclusively.
+  void checkpoint_all();
+
+  /// Size-triggered checkpoint_all(): runs when the commit WAL outgrew
+  /// checkpoint_wal_bytes. Callers must hold NO engine or shard locks.
+  void maybe_compact_commits();
+
+  /// fsyncs all WALs' pending group-commit batches.
   void sync();
 
-  /// Current WAL size of one shard (0 if the collection has no shard yet).
-  std::uint64_t wal_bytes(const std::string& collection) const;
-
  private:
-  struct Shard {
+  struct Wal {
     std::unique_ptr<WalWriter> wal;
   };
 
@@ -131,17 +232,29 @@ class StorageEngine {
   /// Inline (WalWriter-side) fsync batching: disabled entirely in async
   /// mode, where the commit thread owns every fsync.
   std::size_t inline_group_commit() const;
-  Shard& shard_for(const std::string& name);
-  void checkpoint_locked(Collection& c);
+  /// Gets (creating empty on first touch) the WAL keyed `key`, stored at
+  /// dir_/<key>.wal.
+  WalWriter& wal_for(const std::string& key);
+  WalWriter* find_wal(const std::string& key) const;
+  /// Commit records folded into a snapshot must be durable first — else a
+  /// power loss could keep the snapshot (one member applied) but erase the
+  /// record (every other member lost). Cheap when nothing is pending.
+  void sync_commit_wal_if_pending();
+  void checkpoint_shard_locked(Collection& c, std::size_t shard);
+  void migrate_shard_count(DocumentStore& store, std::size_t from,
+                           std::size_t to);
 
   std::filesystem::path dir_;
   EngineOptions opts_;
+  std::size_t shard_count_ = 1;
   std::vector<std::string> recovery_warnings_;
   bool replaying_ = false;
-  mutable std::mutex shards_mu_;  // guards the map shape only
-  std::map<std::string, Shard> shards_;
+  DocumentStore* store_ = nullptr;  // set by recover(); owner of this engine
+  std::shared_mutex commit_gate_;
+  mutable std::mutex wals_mu_;  // guards the map shape only
+  std::map<std::string, Wal> wals_;
   /// Async commit thread; null unless opts_.async_commit. Declared last so
-  /// it is destroyed (thread joined) before the shards it points into.
+  /// it is destroyed (thread joined) before the WALs it points into.
   std::unique_ptr<GroupCommitter> committer_;
 };
 

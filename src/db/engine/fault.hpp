@@ -34,6 +34,18 @@ enum class FaultPoint {
   CommitFsync,           // crash in the group-commit thread before its Nth
                          // batch fsync: appended-but-unsynced frames are
                          // lost to a power failure and must never be acked
+  CommitReserve,         // crash inside a cross-shard logical commit, after
+                         // some member shards reserved their sequence slot
+                         // but before the commit record was appended — the
+                         // "between shard A and shard B" window; recovery
+                         // must make the whole commit vanish
+  CommitAppend,          // crash immediately before the logical commit
+                         // record itself is appended to the engine commit
+                         // WAL (every member already reserved)
+  RecoverShard,          // crash at the start of the Nth per-shard recovery
+                         // task — exercises error propagation out of the
+                         // parallel replay and that a failed open leaves
+                         // the directory reopenable
 };
 
 /// Thrown by the engine when an armed fault fires; tests catch it where a

@@ -189,4 +189,99 @@ std::optional<std::vector<std::int64_t>> OrderedIndex::candidates(
   return std::nullopt;
 }
 
+namespace {
+
+/// Shared walk for exact_count / exact_exists: visits every posting list
+/// the condition selects. `visit` returns true to keep walking, false to
+/// stop early (exists probes).
+template <typename Postings, typename Visit>
+void walk_exact(const Postings& postings, const Json& condition,
+                const Visit& visit) {
+  const auto visit_equal = [&](const IndexKey& key) {
+    const auto it = postings.find(key);
+    return it == postings.end() || visit(it->second);
+  };
+
+  if (!is_operator_object(condition)) {
+    const auto key = IndexKey::from_json(condition);
+    if (key) visit_equal(*key);
+    return;
+  }
+  const auto& [op, operand] = *condition.as_object().begin();
+  if (op == "$eq") {
+    const auto key = IndexKey::from_json(operand);
+    if (key) visit_equal(*key);
+    return;
+  }
+  if (op == "$in") {
+    // Numerically equal operands ([2, 2.0]) map to one IndexKey; visiting
+    // each distinct key once keeps the count a set cardinality, exactly
+    // like candidates()'s sort+unique.
+    std::vector<IndexKey> keys;
+    for (const auto& item : operand.as_array())
+      if (auto key = IndexKey::from_json(item)) keys.push_back(std::move(*key));
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0 && !(keys[i - 1] < keys[i])) continue;  // duplicate key
+      if (!visit_equal(keys[i])) return;
+    }
+    return;
+  }
+  const auto bound = IndexKey::from_json(operand);
+  if (!bound) return;
+  auto it = (op == "$gt")    ? postings.upper_bound(*bound)
+            : (op == "$gte") ? postings.lower_bound(*bound)
+                             : postings.lower_bound(rank_min(bound->rank));
+  for (; it != postings.end(); ++it) {
+    const IndexKey& key = it->first;
+    if (key.rank != bound->rank) break;
+    if (op == "$lt" && !(key < *bound)) break;
+    if (op == "$lte" && *bound < key) break;
+    if (!visit(it->second)) return;
+  }
+}
+
+}  // namespace
+
+bool OrderedIndex::exact(const Json& condition) {
+  if (!is_operator_object(condition))
+    return is_scalar(condition) && IndexKey::from_json(condition).has_value();
+  const auto& ops = condition.as_object();
+  // Operators are conjunctive and candidates() only ever serves one of
+  // them, so exactness requires the condition to BE one operator.
+  if (ops.size() != 1) return false;
+  const auto& [op, operand] = *ops.begin();
+  if (op == "$eq")
+    return is_scalar(operand) && IndexKey::from_json(operand).has_value();
+  if (op == "$in") {
+    if (!operand.is_array()) return false;
+    for (const auto& item : operand.as_array())
+      if (!is_scalar(item)) return false;
+    return true;
+  }
+  if (op == "$gt" || op == "$gte" || op == "$lt" || op == "$lte")
+    // Same restriction as candidates(): ordering across types is false in
+    // the match engine, and only number/string operands order usefully.
+    return operand.is_number() || operand.is_string();
+  return false;
+}
+
+std::size_t OrderedIndex::exact_count(const Json& condition) const {
+  std::size_t n = 0;
+  walk_exact(postings_, condition, [&](const std::vector<std::int64_t>& ids) {
+    n += ids.size();
+    return true;
+  });
+  return n;
+}
+
+bool OrderedIndex::exact_exists(const Json& condition) const {
+  bool found = false;
+  walk_exact(postings_, condition, [&](const std::vector<std::int64_t>& ids) {
+    found = found || !ids.empty();
+    return !found;
+  });
+  return found;
+}
+
 }  // namespace gptc::db::engine

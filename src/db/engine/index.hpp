@@ -63,6 +63,27 @@ class OrderedIndex {
   std::optional<std::vector<std::int64_t>> candidates(
       const json::Json& condition) const;
 
+  /// True when the index serves `condition` EXACTLY — the posting lists are
+  /// the match set, not merely a superset — so count()/exists() may consult
+  /// the index alone, never materializing (or even re-matching) a document.
+  /// Holds for a bare scalar, a single {$eq: scalar}, a single {$in:
+  /// [scalars]}, or a single range operator with a number/string operand:
+  /// in each case the match engine's semantics (cross-type numeric
+  /// equality, same-class-only ordering) coincide with IndexKey's, and
+  /// documents absent from the index (missing path, array/object value)
+  /// cannot match. Conditions with several operators are only ever served
+  /// as a superset (candidates() picks one op), so they are not exact.
+  static bool exact(const json::Json& condition);
+
+  /// Index-only match count for an exact() condition. Sums posting-list
+  /// sizes without building an id vector; $in dedupes numerically equal
+  /// operands ([2, 2.0]) the same way candidates() does.
+  std::size_t exact_count(const json::Json& condition) const;
+
+  /// Index-only existence probe for an exact() condition; stops at the
+  /// first non-empty posting list.
+  bool exact_exists(const json::Json& condition) const;
+
  private:
   void collect_equal(const IndexKey& key, std::vector<std::int64_t>& out) const;
   void collect_range(IndexKey::Rank rank, const IndexKey* lo, bool lo_open,

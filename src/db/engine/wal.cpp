@@ -171,6 +171,11 @@ std::uint64_t WalWriter::append(const json::Json& payload) {
   return seq;
 }
 
+std::uint64_t WalWriter::reserve() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_++;
+}
+
 void WalWriter::sync() {
   std::lock_guard<std::mutex> lock(mu_);
   sync_locked();
@@ -178,8 +183,13 @@ void WalWriter::sync() {
 
 void WalWriter::sync_locked() {
   if (pending_ == 0) return;
-  if (::fsync(fd_) != 0)
-    throw std::runtime_error("wal: fsync failed for " + path_.string() +
+  // fdatasync, not fsync: an append needs only the data and the file size
+  // durable, and fdatasync is required to flush the size when a write
+  // extends the file. Skipping the mtime-only metadata update keeps
+  // concurrent per-shard WAL syncs from queueing behind one another in the
+  // filesystem journal.
+  if (::fdatasync(fd_) != 0)
+    throw std::runtime_error("wal: fdatasync failed for " + path_.string() +
                              ": " + std::strerror(errno));
   pending_ = 0;
   synced_bytes_ = bytes_;

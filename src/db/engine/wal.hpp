@@ -81,6 +81,14 @@ class WalWriter {
   /// at an armed fault point and std::runtime_error on real I/O failure.
   std::uint64_t append(const json::Json& payload);
 
+  /// Claims the next sequence number WITHOUT writing a frame. Used by
+  /// cross-shard logical commits (engine.hpp): the op lives in the engine
+  /// commit WAL, but it still occupies a slot in this shard's sequence
+  /// space so replay can merge the two streams back into the exact
+  /// application order. A reserved-but-never-committed slot is just a gap —
+  /// replay tolerates gaps, it only requires monotonicity.
+  std::uint64_t reserve();
+
   /// Forces any pending (unsynced) frames to disk. Safe to call while
   /// another thread appends (each method takes the writer's own mutex).
   void sync();

@@ -286,10 +286,11 @@ json::Json CrowdServer::handle_upload(const json::Json& request) {
   const crowd::SharedRepo::UploadReceipt receipt =
       repo_.upload_batch(key.as_string(), problem.as_string(), evals);
   // The ack gate: with async group commit this blocks until the commit
-  // thread fsynced the batch. If durability fails (CrashInjected in
-  // tests, fsync error in production) this throws and the client gets
-  // `internal`, not an ack.
-  repo_.wait_uploads_durable(receipt.commit_seq);
+  // thread fsynced the batch's WAL — the shard WAL its frame lives in, or
+  // the engine commit WAL when the upload spans shards or wrote catalog
+  // descriptors. If durability fails (CrashInjected in tests, fsync error
+  // in production) this throws and the client gets `internal`, not an ack.
+  repo_.wait_uploads_durable(receipt);
   records_uploaded_.fetch_add(receipt.ids.size());
 
   json::Json ids = json::Json::array();

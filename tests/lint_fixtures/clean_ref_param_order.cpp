@@ -1,0 +1,30 @@
+// Clean fixture: the by-reference helper from r7_ref_param_inversion.cpp,
+// but every caller agrees on the argument order. Placeholder substitution
+// must keep the two call sites' identities straight — before it existed,
+// both parameters normalized to one file-qualified name shared across every
+// caller, and helpers like this produced false lock-order cycles.
+#include <mutex>
+
+class RefOrdered {
+ public:
+  void one();
+  void two();
+
+ private:
+  static void pair_step(std::mutex& first, std::mutex& second);
+  std::mutex a_;
+  std::mutex b_;
+};
+
+void RefOrdered::pair_step(std::mutex& first, std::mutex& second) {
+  std::lock_guard<std::mutex> outer(first);
+  std::lock_guard<std::mutex> inner(second);
+}
+
+void RefOrdered::one() {
+  pair_step(a_, b_);  // a_ then b_
+}
+
+void RefOrdered::two() {
+  pair_step(a_, b_);  // same order: no inversion, nothing to flag
+}

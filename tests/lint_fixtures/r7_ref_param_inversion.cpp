@@ -1,0 +1,32 @@
+// Fixture: R7 lock-order through mutexes passed by reference. The helper
+// locks its two parameters in positional order and never names a member, so
+// a per-identifier normalizer sees no lock identity at all (or, worse, one
+// shared bogus identity for every caller). The placeholder substitution in
+// ProjectIndex::finalize resolves `first`/`second` to the actual argument
+// mutexes at each call site — and the two callers pass the same pair in
+// opposite orders, a deadlock when they run on different threads.
+#include <mutex>
+
+class RefInverted {
+ public:
+  void forward();
+  void backward();
+
+ private:
+  static void pair_step(std::mutex& first, std::mutex& second);
+  std::mutex a_;
+  std::mutex b_;
+};
+
+void RefInverted::pair_step(std::mutex& first, std::mutex& second) {
+  std::lock_guard<std::mutex> outer(first);
+  std::lock_guard<std::mutex> inner(second);
+}
+
+void RefInverted::forward() {
+  pair_step(a_, b_);  // seeded violation: R7 (a_ then b_ through pair_step)
+}
+
+void RefInverted::backward() {
+  pair_step(b_, a_);  // opposite argument order (b_ then a_)
+}

@@ -157,5 +157,151 @@ TEST(CollectionJson, RoundTripPreservesNextId) {
   EXPECT_EQ(back.insert(doc(R"({"b":2})")), 2);  // id 1 was consumed
 }
 
+// ---------------------------------------------------------------------------
+// Index-only count()/exists() fast paths: answers must be identical to the
+// scan, whether the query is index-servable exactly, only narrowable, or
+// not indexed at all.
+
+class CountExistsParity : public ::testing::Test {
+ protected:
+  CountExistsParity() : indexed_("i"), plain_("p") {
+    indexed_.create_index("k");
+    indexed_.create_index("s");
+    for (int i = 0; i < 20; ++i) {
+      Json d = Json::object();
+      d["k"] = static_cast<std::int64_t>(i % 5);
+      d["s"] = "s" + std::to_string(i % 3);
+      d["v"] = static_cast<std::int64_t>(i);
+      Json d2 = d;
+      indexed_.insert(std::move(d));
+      plain_.insert(std::move(d2));
+    }
+  }
+
+  void check(const std::string& query) {
+    const Json q = doc(query);
+    EXPECT_EQ(indexed_.count(q), plain_.count(q)) << query;
+    EXPECT_EQ(indexed_.exists(q), plain_.exists(q)) << query;
+    EXPECT_EQ(indexed_.count(q), indexed_.find(q).size()) << query;
+    EXPECT_EQ(indexed_.exists(q), !indexed_.find(q).empty()) << query;
+  }
+
+  Collection indexed_;
+  Collection plain_;
+};
+
+TEST_F(CountExistsParity, ExactlyIndexServableQueries) {
+  // Single indexed field, single operator: served from the index without
+  // touching a document.
+  check(R"({"k":2})");
+  check(R"({"k":99})");
+  check(R"({"k":{"$eq":3}})");
+  check(R"({"k":{"$gt":2}})");
+  check(R"({"k":{"$gte":2}})");
+  check(R"({"k":{"$lt":2}})");
+  check(R"({"k":{"$lte":0}})");
+  check(R"({"k":{"$in":[1,3,99]}})");
+  check(R"({"k":{"$in":[]}})");
+  check(R"({"s":"s1"})");
+}
+
+TEST_F(CountExistsParity, FallbackQueries) {
+  // Not exactly servable: multi-operator, multi-field, negations,
+  // unindexed paths, logical combinators — all must fall back to the
+  // scan/candidate path and still agree.
+  check(R"({})");
+  check(R"({"k":{"$gte":1,"$lt":3}})");
+  check(R"({"k":{"$ne":2}})");
+  check(R"({"k":2,"s":"s1"})");
+  check(R"({"v":{"$gte":10}})");
+  check(R"({"$or":[{"k":1},{"s":"s2"}]})");
+  check(R"({"$not":{"k":2}})");
+  check(R"({"k":{"$exists":true}})");
+}
+
+TEST_F(CountExistsParity, ParityHoldsAfterMutations) {
+  indexed_.remove(doc(R"({"k":2})"));
+  plain_.remove(doc(R"({"k":2})"));
+  indexed_.update(doc(R"({"k":3})"), doc(R"({"k":4})"));
+  plain_.update(doc(R"({"k":3})"), doc(R"({"k":4})"));
+  check(R"({"k":2})");
+  check(R"({"k":3})");
+  check(R"({"k":4})");
+  check(R"({"k":{"$gte":3}})");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded in-memory collections: the split is invisible at the API.
+
+TEST(ShardedCollection, QueriesMergeInInsertionOrder) {
+  Collection sharded("t", 4);
+  Collection flat("t");
+  for (int i = 0; i < 17; ++i) {
+    Json d = Json::object();
+    d["k"] = static_cast<std::int64_t>(i % 4);
+    Json d2 = d;
+    sharded.insert(std::move(d));
+    flat.insert(std::move(d2));
+  }
+  EXPECT_EQ(sharded.shard_count(), 4u);
+  EXPECT_EQ(sharded.size(), flat.size());
+  EXPECT_EQ(sharded.to_json().dump(), flat.to_json().dump());
+  const Json q = doc(R"({"k":{"$gte":2}})");
+  const auto a = sharded.find(q);
+  const auto b = flat.find(q);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].dump(), b[i].dump());
+  EXPECT_EQ(sharded.find_one(q).dump(), flat.find_one(q).dump());
+  EXPECT_EQ(sharded.count(q), flat.count(q));
+}
+
+TEST(ShardedCollection, MutationsSpanShardsInvisibly) {
+  Collection sharded("t", 4);
+  Collection flat("t");
+  for (Collection* c : {&sharded, &flat}) {
+    for (int i = 0; i < 12; ++i) {
+      Json d = Json::object();
+      d["k"] = static_cast<std::int64_t>(i % 3);
+      c->insert(std::move(d));
+    }
+    // Cross-shard update and remove behave exactly like the flat store.
+    EXPECT_EQ(c->update(doc(R"({"k":1})"), doc(R"({"touched":true})")), 4u);
+    EXPECT_EQ(c->remove(doc(R"({"k":2})")), 4u);
+    // A batch whose documents hash across shards is still atomic and
+    // contiguous in id space.
+    const auto batch = c->insert_batch(
+        {doc(R"({"k":9})"), doc(R"({"k":9})"), doc(R"({"k":9})")});
+    EXPECT_EQ(batch.ids.size(), 3u);
+    EXPECT_EQ(batch.ids[2], batch.ids[0] + 2);
+  }
+  EXPECT_EQ(sharded.to_json().dump(), flat.to_json().dump());
+}
+
+TEST(ShardedCollection, IndexedQueriesAgreeAcrossShardCounts) {
+  Collection sharded("t", 3);
+  Collection flat("t");
+  sharded.create_index("k");
+  flat.create_index("k");
+  for (int i = 0; i < 15; ++i) {
+    Json d = Json::object();
+    d["k"] = static_cast<std::int64_t>(i % 5);
+    Json d2 = d;
+    sharded.insert(std::move(d));
+    flat.insert(std::move(d2));
+  }
+  for (const char* query :
+       {R"({"k":2})", R"({"k":{"$gte":3}})", R"({"k":{"$in":[0,4]}})"}) {
+    const Json q = doc(query);
+    const auto a = sharded.find(q);
+    const auto b = flat.find(q);
+    ASSERT_EQ(a.size(), b.size()) << query;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_EQ(a[i].dump(), b[i].dump()) << query;
+    EXPECT_EQ(sharded.count(q), flat.count(q)) << query;
+    EXPECT_EQ(sharded.exists(q), flat.exists(q)) << query;
+  }
+}
+
 }  // namespace
 }  // namespace gptc::db

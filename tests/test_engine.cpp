@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -51,6 +53,75 @@ class TempDir {
  private:
   fs::path path_;
 };
+
+/// Shard count the suite runs the durable tests at: GPTC_SHARDS=N re-runs
+/// the whole crash matrix against the sharded layout (the CI engine job
+/// sets 4); unset keeps the single-shard default so both layouts stay
+/// covered.
+std::size_t env_shards() {
+  const char* v = std::getenv("GPTC_SHARDS");
+  if (v == nullptr || *v == '\0') return 0;
+  return static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+}
+
+std::size_t effective_shards() {
+  const std::size_t s = env_shards();
+  return s == 0 ? 1 : s;
+}
+
+/// Every WAL stem a store uses for `coll`: one per shard plus the engine
+/// commit WAL (querying an absent WAL is harmless — seq/bytes are 0).
+std::vector<std::string> wal_stems(DocumentStore& store,
+                                   const std::string& coll) {
+  auto* eng = store.storage_engine();
+  std::vector<std::string> stems;
+  for (std::size_t k = 0; k < eng->shard_count(); ++k)
+    stems.push_back(
+        engine::StorageEngine::shard_stem(coll, k, eng->shard_count()));
+  stems.push_back(eng->commit_wal_stem());
+  return stems;
+}
+
+/// Waits until every WAL's last logged sequence is durable — the upload
+/// ack, fanned across shard WALs and the commit WAL.
+void ack_everything(DocumentStore& store, const std::string& coll) {
+  auto* eng = store.storage_engine();
+  for (const auto& stem : wal_stems(store, coll))
+    eng->wait_durable(stem, eng->last_logged_seq(stem));
+}
+
+/// Captures each WAL's last-fsync offset — the bytes that survive a power
+/// loss at this instant.
+std::map<std::string, std::uint64_t> synced_offsets(DocumentStore& store,
+                                                    const std::string& coll) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& stem : wal_stems(store, coll))
+    out[stem] = store.storage_engine()->wal_synced_bytes(stem);
+  return out;
+}
+
+/// Models the power loss: truncates every WAL in the directory back to its
+/// captured fsync offset (to zero when it was never fsynced at all).
+void power_loss(const fs::path& dir,
+                const std::map<std::string, std::uint64_t>& synced) {
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() != ".wal") continue;
+    const auto it = synced.find(e.path().stem().string());
+    fs::resize_file(e.path(), it == synced.end() ? 0 : it->second);
+  }
+}
+
+/// Whether any snapshot for `coll` exists, regardless of shard layout
+/// ("<coll>.snapshot" or "<coll>.s<k>of<n>.snapshot").
+bool any_snapshot(const fs::path& dir, const std::string& coll) {
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (e.path().extension() == ".snapshot" &&
+        name.rfind(coll + ".", 0) == 0)
+      return true;
+  }
+  return false;
+}
 
 // ---------------------------------------------------------------------------
 // Checksums and SipHash
@@ -374,6 +445,7 @@ EngineOptions test_options(FaultInjector* fault = nullptr,
   opts.group_commit = group_commit;
   opts.checkpoint_wal_bytes = 1u << 30;  // explicit checkpoints only
   opts.fault = fault;
+  opts.shards = env_shards();  // 0 unless GPTC_SHARDS re-runs the suite
   return opts;
 }
 
@@ -406,10 +478,13 @@ TEST(DurableStore, ThresholdCheckpointCompactsWal) {
   auto& c = store.collection("samples");
   for (int i = 0; i < 64; ++i)
     c.insert(doc(R"({"payload":"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"})"));
-  EXPECT_TRUE(fs::exists(dir.path() / "samples.snapshot"));
-  // The WAL was truncated at the last checkpoint, so it is far smaller
-  // than the total volume appended.
-  EXPECT_LT(store.storage_engine()->wal_bytes("samples"), 1024u);
+  EXPECT_TRUE(any_snapshot(dir.path(), "samples"));
+  // Each shard's WAL was truncated at its last checkpoint, so the total is
+  // far smaller than the volume appended.
+  std::uint64_t total = 0;
+  for (const auto& stem : wal_stems(store, "samples"))
+    total += store.storage_engine()->wal_bytes(stem);
+  EXPECT_LT(total, 1024u * store.storage_engine()->shard_count());
   auto reopened = DocumentStore::open_durable(dir.path(), opts);
   EXPECT_EQ(reopened.collection("samples").size(), 64u);
 }
@@ -428,7 +503,7 @@ TEST(DurableStore, MigratesLegacyJsonExportOnce) {
     store.collection("samples").insert(doc(R"({"k":3})"));
     // Migration snapshots immediately and retires the export, so the stale
     // file can never be mistaken for the base state again.
-    EXPECT_TRUE(fs::exists(dir.path() / "samples.snapshot"));
+    EXPECT_TRUE(any_snapshot(dir.path(), "samples"));
     EXPECT_FALSE(fs::exists(dir.path() / "samples.json"));
     EXPECT_TRUE(fs::exists(dir.path() / "samples.json.migrated"));
   }
@@ -443,7 +518,12 @@ TEST(DurableStore, CorruptSnapshotRefusesToOpen) {
     store.collection("samples").insert(doc(R"({"k":1})"));
     store.checkpoint_all();
   }
-  const fs::path snap = dir.path() / "samples.snapshot";
+  // Corrupt whichever shard snapshot holds the document.
+  fs::path snap;
+  for (const auto& e : fs::directory_iterator(dir.path()))
+    if (e.path().extension() == ".snapshot" && fs::file_size(e.path()) > 0)
+      snap = e.path();
+  ASSERT_FALSE(snap.empty());
   std::ifstream in(snap, std::ios::binary);
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -459,13 +539,19 @@ TEST(DurableStore, MidLogWalCorruptionRefusesToOpen) {
   {
     auto store = DocumentStore::open_durable(
         dir.path(), test_options(nullptr, /*group_commit=*/1));
-    store.collection("samples").insert(doc(R"({"k":1})"));
-    store.collection("samples").insert(doc(R"({"k":2})"));
-    store.collection("samples").insert(doc(R"({"k":3})"));
+    // Enough documents that every shard's WAL holds at least two frames.
+    for (std::size_t i = 1; i <= 2 * effective_shards(); ++i) {
+      Json d = Json::object();
+      d["k"] = static_cast<std::int64_t>(i);
+      store.collection("samples").insert(std::move(d));
+    }
   }
-  // Corrupt the first frame: committed frames follow, so recovery must
-  // refuse the directory rather than truncate them away.
-  const fs::path wal = dir.path() / "samples.wal";
+  // Corrupt the first frame of one shard WAL: committed frames follow, so
+  // recovery must refuse the directory rather than truncate them away.
+  const fs::path wal =
+      dir.path() / (engine::StorageEngine::shard_stem("samples", 0,
+                                                      effective_shards()) +
+                    ".wal");
   std::ifstream in(wal, std::ios::binary);
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -630,15 +716,20 @@ TEST_P(CrashAtEverySnapshot, RecoversCommittedPrefix) {
     fault.arm(point, nth);
     const std::size_t applied =
         run_until_crash(dir.path(), fault, /*with_checkpoints=*/true);
-    // Snapshot n happens between ops: everything applied so far committed.
-    ASSERT_EQ(applied, static_cast<std::size_t>(nth) * kCheckpointEvery);
+    // A checkpoint writes one snapshot per shard, and checkpoints happen
+    // between ops: everything applied before the crashing one committed.
+    const std::size_t checkpoint =
+        (static_cast<std::size_t>(nth) + effective_shards() - 1) /
+        effective_shards();
+    ASSERT_EQ(applied, checkpoint * kCheckpointEvery);
     EXPECT_EQ(reopened_state(dir.path()), expected_state_after(applied));
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     EverySnapshot, CrashAtEverySnapshot,
-    ::testing::Range<std::uint64_t>(1, kWorkloadOps / kCheckpointEvery + 1));
+    ::testing::Range<std::uint64_t>(
+        1, kWorkloadOps / kCheckpointEvery * effective_shards() + 1));
 
 TEST(CrashRecovery, UninterruptedRunMatchesReference) {
   TempDir dir("gptc_engine_crash_none");
@@ -646,9 +737,11 @@ TEST(CrashRecovery, UninterruptedRunMatchesReference) {
   const std::size_t applied =
       run_until_crash(dir.path(), fault, /*with_checkpoints=*/true);
   EXPECT_EQ(applied, kWorkloadOps);
+  // Every op is exactly one WAL append — a shard frame, or (when the op
+  // spans shards) the single logical commit record.
   EXPECT_EQ(fault.count(FaultPoint::WalAppend), kWorkloadOps);
   EXPECT_EQ(fault.count(FaultPoint::SnapshotBeforeRename),
-            kWorkloadOps / kCheckpointEvery);
+            kWorkloadOps / kCheckpointEvery * effective_shards());
   EXPECT_EQ(reopened_state(dir.path()), expected_state_after(kWorkloadOps));
 }
 
@@ -747,7 +840,7 @@ EngineOptions async_options(FaultInjector* fault = nullptr) {
 
 TEST(GroupCommit, AckedRecordsSurvivePowerLossUnackedTailMayNot) {
   TempDir dir("gptc_gc_ack");
-  std::uint64_t synced = 0;
+  std::map<std::string, std::uint64_t> synced;
   {
     auto store = DocumentStore::open_durable(dir.path(), async_options());
     auto& c = store.collection("samples");
@@ -756,17 +849,17 @@ TEST(GroupCommit, AckedRecordsSurvivePowerLossUnackedTailMayNot) {
       d["k"] = static_cast<std::int64_t>(i);
       c.insert(std::move(d));
     }
-    const std::uint64_t seq =
-        store.storage_engine()->last_logged_seq("samples");
-    store.storage_engine()->wait_durable("samples", seq);  // the ack
-    synced = store.storage_engine()->wal_synced_bytes("samples");
-    ASSERT_GT(synced, 0u);
+    ack_everything(store, "samples");  // the ack
+    synced = synced_offsets(store, "samples");
+    std::uint64_t total = 0;
+    for (const auto& [stem, bytes] : synced) total += bytes;
+    ASSERT_GT(total, 0u);
     // One more record, never acked: power loss may take it.
     Json d = Json::object();
     d["k"] = static_cast<std::int64_t>(99);
     c.insert(std::move(d));
   }
-  fs::resize_file(dir.path() / "samples.wal", synced);
+  power_loss(dir.path(), synced);
   auto store = DocumentStore::open_durable(dir.path(), async_options());
   const auto& c = *store.find_collection("samples");
   EXPECT_EQ(c.size(), 5u);
@@ -777,27 +870,25 @@ TEST(GroupCommit, CrashBetweenEnqueueAndFsyncNeverAcks) {
   TempDir dir("gptc_gc_noack");
   FaultInjector fault;
   fault.arm(FaultPoint::CommitFsync, 1);
-  std::uint64_t synced = 0;
+  std::map<std::string, std::uint64_t> synced;
   {
     auto store = DocumentStore::open_durable(dir.path(), async_options(&fault));
     auto& c = store.collection("samples");
     auto batch = c.insert_batch(
         {doc(R"({"k":1})"), doc(R"({"k":2})"), doc(R"({"k":3})")});
-    ASSERT_GT(batch.commit_seq, 0u);
+    ASSERT_GT(batch.ticket.seq, 0u);
     // The batch is enqueued (logged) but the commit thread crashes before
     // its fsync: the ack path must throw, and keep throwing.
-    EXPECT_THROW(
-        store.storage_engine()->wait_durable("samples", batch.commit_seq),
-        CrashInjected);
-    EXPECT_THROW(
-        store.storage_engine()->wait_durable("samples", batch.commit_seq),
-        CrashInjected);
+    EXPECT_THROW(store.storage_engine()->wait_durable(batch.ticket),
+                 CrashInjected);
+    EXPECT_THROW(store.storage_engine()->wait_durable(batch.ticket),
+                 CrashInjected);
     EXPECT_THROW(store.sync(), CrashInjected);
-    synced = store.storage_engine()->wal_synced_bytes("samples");
+    synced = synced_offsets(store, "samples");
   }
   // Power loss: nothing past the last fsync survives — which is nothing,
   // since the committer crashed before its first fsync.
-  fs::resize_file(dir.path() / "samples.wal", synced);
+  power_loss(dir.path(), synced);
   auto store = DocumentStore::open_durable(dir.path(), async_options());
   EXPECT_EQ(store.collection("samples").size(), 0u);
 }
@@ -814,7 +905,7 @@ TEST_P(CrashAtEveryGroupCommitFsync, RecoveryYieldsExactlyTheAckedPrefix) {
   TempDir dir("gptc_gc_prefix");
   FaultInjector fault;
   fault.arm(FaultPoint::CommitFsync, nth);
-  std::uint64_t synced = 0;
+  std::map<std::string, std::uint64_t> synced;
   std::size_t acked = 0;
   {
     auto store = DocumentStore::open_durable(dir.path(), async_options(&fault));
@@ -824,17 +915,16 @@ TEST_P(CrashAtEveryGroupCommitFsync, RecoveryYieldsExactlyTheAckedPrefix) {
         Json d = Json::object();
         d["k"] = static_cast<std::int64_t>(i);
         c.insert(std::move(d));
-        store.storage_engine()->wait_durable(
-            "samples", store.storage_engine()->last_logged_seq("samples"));
+        ack_everything(store, "samples");
         ++acked;  // reached only when the record's fsync completed
       }
       FAIL() << "CommitFsync fault " << nth << " never fired";
     } catch (const CrashInjected&) {
     }
     EXPECT_EQ(acked, nth - 1);
-    synced = store.storage_engine()->wal_synced_bytes("samples");
+    synced = synced_offsets(store, "samples");
   }
-  fs::resize_file(dir.path() / "samples.wal", synced);
+  power_loss(dir.path(), synced);
   auto store = DocumentStore::open_durable(dir.path(), async_options());
   const auto& c = *store.find_collection("samples");
   ASSERT_EQ(c.size(), acked);
@@ -845,7 +935,8 @@ TEST_P(CrashAtEveryGroupCommitFsync, RecoveryYieldsExactlyTheAckedPrefix) {
   }
 }
 
-// Batched writer: each insert_batch is one WAL record and one commit-
+// Batched writer: each insert_batch is one WAL record (a shard frame, or
+// the logical commit record when the batch spans shards) and one commit-
 // thread fsync, so a crash at the Nth fsync acks exactly N-1 batches —
 // and because a batch is a single frame, recovery can never yield a
 // partial batch even when the power loss lands mid-stream.
@@ -855,7 +946,7 @@ TEST_P(CrashAtEveryGroupCommitFsync, BatchesRecoverWholeOrNotAtAll) {
   TempDir dir("gptc_gc_batch");
   FaultInjector fault;
   fault.arm(FaultPoint::CommitFsync, nth);
-  std::uint64_t synced = 0;
+  std::map<std::string, std::uint64_t> synced;
   std::size_t acked_batches = 0;
   {
     auto store = DocumentStore::open_durable(dir.path(), async_options(&fault));
@@ -870,16 +961,16 @@ TEST_P(CrashAtEveryGroupCommitFsync, BatchesRecoverWholeOrNotAtAll) {
           batch.push_back(std::move(d));
         }
         const auto receipt = c.insert_batch(std::move(batch));
-        store.storage_engine()->wait_durable("samples", receipt.commit_seq);
+        store.storage_engine()->wait_durable(receipt.ticket);
         ++acked_batches;
       }
       FAIL() << "CommitFsync fault " << nth << " never fired";
     } catch (const CrashInjected&) {
     }
     EXPECT_EQ(acked_batches, nth - 1);
-    synced = store.storage_engine()->wal_synced_bytes("samples");
+    synced = synced_offsets(store, "samples");
   }
-  fs::resize_file(dir.path() / "samples.wal", synced);
+  power_loss(dir.path(), synced);
   auto store = DocumentStore::open_durable(dir.path(), async_options());
   const auto& c = *store.find_collection("samples");
   ASSERT_EQ(c.size(), acked_batches * kBatchSize);
@@ -902,12 +993,316 @@ TEST(GroupCommit, CheckpointMakesLoggedRecordsDurableWithoutFsyncWait) {
     d["k"] = static_cast<std::int64_t>(i);
     c.insert(std::move(d));
   }
-  const std::uint64_t seq = store.storage_engine()->last_logged_seq("samples");
-  // A checkpoint persists a synced snapshot covering every logged record,
+  std::map<std::string, std::uint64_t> logged;
+  for (const auto& stem : wal_stems(store, "samples"))
+    logged[stem] = store.storage_engine()->last_logged_seq(stem);
+  // A checkpoint persists synced snapshots covering every logged record,
   // so the committer must treat them as durable immediately.
   store.checkpoint_all();
-  store.storage_engine()->wait_durable("samples", seq);  // must not block
+  for (const auto& [stem, seq] : logged)
+    store.storage_engine()->wait_durable(stem, seq);  // must not block
   EXPECT_EQ(store.collection("samples").size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded layout: shard-count migration, cross-shard logical commits,
+// parallel recovery. These pin their shard counts explicitly (overriding
+// any GPTC_SHARDS) because they assert on the layout transitions
+// themselves.
+
+EngineOptions sharded_options(std::size_t shards,
+                              FaultInjector* fault = nullptr) {
+  EngineOptions opts = test_options(fault);
+  opts.shards = shards;
+  return opts;
+}
+
+/// find() results as one dumpable array, for byte-identity comparisons.
+std::string dumped_find(const Collection& c, const Json& query) {
+  Json arr = Json::array();
+  for (auto& d : c.find(query)) arr.push_back(std::move(d));
+  return arr.dump();
+}
+
+TEST(Sharding, MigrationPreservesByteIdenticalQueryResults) {
+  TempDir dir("gptc_shard_migrate");
+  const Json probe = doc(R"({"k":{"$gte":2}})");
+  std::string state1, finds1;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(1));
+    auto& c = store.collection("samples");
+    c.create_index("k");
+    for (std::size_t i = 1; i <= kWorkloadOps; ++i) apply_op(store, i);
+    state1 = c.to_json().dump();
+    finds1 = dumped_find(c, probe);
+  }
+  std::string state4;
+  {
+    // 1 -> 4: recover at the old count, repartition, flip the manifest.
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(4));
+    EXPECT_EQ(store.storage_engine()->shard_count(), 4u);
+    EXPECT_TRUE(fs::exists(dir.path() / "engine.manifest"));
+    EXPECT_FALSE(fs::exists(dir.path() / "samples.wal"));  // layout retired
+    auto& c = store.collection("samples");
+    c.create_index("k");
+    EXPECT_EQ(c.to_json().dump(), state1);
+    EXPECT_EQ(dumped_find(c, probe), finds1);
+    EXPECT_EQ(c.count(probe), c.find(probe).size());
+    // New writes land in the sharded layout and migrate back with it.
+    for (std::size_t i = kWorkloadOps + 1; i <= kWorkloadOps + 8; ++i)
+      apply_op(store, i);
+    state4 = c.to_json().dump();
+  }
+  {
+    // 4 -> 1: back to the exact legacy layout, nothing lost.
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(1));
+    EXPECT_EQ(store.storage_engine()->shard_count(), 1u);
+    EXPECT_TRUE(fs::exists(dir.path() / "samples.snapshot"));
+    EXPECT_FALSE(fs::exists(dir.path() / "samples.s0of4.wal"));
+    EXPECT_EQ(store.collection("samples").to_json().dump(), state4);
+  }
+  {
+    // shards = 0 keeps whatever the directory holds.
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(0));
+    EXPECT_EQ(store.storage_engine()->shard_count(), 1u);
+    EXPECT_EQ(store.collection("samples").to_json().dump(), state4);
+  }
+}
+
+TEST(Sharding, CrashedMigrationLeavesTheOldLayoutIntact) {
+  TempDir dir("gptc_shard_migcrash");
+  std::string before;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(1));
+    for (std::size_t i = 1; i <= 10; ++i) apply_op(store, i);
+    before = store.collection("samples").to_json().dump();
+  }
+  // Migration writes one full-coverage snapshot per new shard before the
+  // manifest flip; crash at each and the flip never happens.
+  for (std::uint64_t nth = 1; nth <= 4; ++nth) {
+    for (const FaultPoint point : {FaultPoint::SnapshotBeforeRename,
+                                   FaultPoint::SnapshotAfterRename}) {
+      FaultInjector fault;
+      fault.arm(point, nth);
+      EXPECT_THROW(
+          DocumentStore::open_durable(dir.path(), sharded_options(4, &fault)),
+          CrashInjected);
+      // The directory still opens at one shard with identical contents;
+      // the half-written sharded files are swept as migration debris.
+      auto store = DocumentStore::open_durable(dir.path(), sharded_options(0));
+      EXPECT_EQ(store.storage_engine()->shard_count(), 1u);
+      EXPECT_EQ(store.collection("samples").to_json().dump(), before);
+    }
+  }
+}
+
+TEST(CrossShardCommit, ReserveAndAppendCrashesLeaveNothingApplied) {
+  // A DocumentStore::insert_atomic spanning two collections and three
+  // shards: 3 CommitReserve windows (one per member) plus the
+  // CommitAppend window right before the commit record hits the WAL.
+  struct Case {
+    FaultPoint point;
+    std::uint64_t nth;
+  };
+  const Case cases[] = {{FaultPoint::CommitReserve, 1},
+                        {FaultPoint::CommitReserve, 2},
+                        {FaultPoint::CommitReserve, 3},
+                        {FaultPoint::CommitAppend, 1}};
+  for (const Case& tc : cases) {
+    TempDir dir("gptc_cross_crash");
+    FaultInjector fault;
+    {
+      auto store =
+          DocumentStore::open_durable(dir.path(), sharded_options(4, &fault));
+      // Committed baseline in both collections before the fault arms.
+      store.collection("problems").insert(doc(R"({"name":"base"})"));
+      store.collection("runs").insert(doc(R"({"k":0})"));
+      fault.arm(tc.point, tc.nth);
+      std::map<std::string, std::vector<Json>> docs;
+      docs["problems"].push_back(doc(R"({"name":"p"})"));
+      docs["runs"].push_back(doc(R"({"k":1})"));
+      docs["runs"].push_back(doc(R"({"k":2})"));
+      EXPECT_THROW(store.insert_atomic(docs), CrashInjected);
+      // Nothing applied in memory — reserved slots are mere seq gaps.
+      EXPECT_EQ(store.collection("problems").size(), 1u);
+      EXPECT_EQ(store.collection("runs").size(), 1u);
+      EXPECT_FALSE(store.collection("runs").exists(doc(R"({"k":1})")));
+      EXPECT_FALSE(store.collection("problems").exists(doc(R"({"name":"p"})")));
+      // The engine stays usable: the same commit retried goes through.
+      auto result = store.insert_atomic(std::move(docs));
+      store.storage_engine()->wait_durable(result.ticket);
+    }
+    // Recovery agrees: the crashed commit vanished, the retry is whole.
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(0));
+    EXPECT_EQ(store.storage_engine()->shard_count(), 4u);
+    EXPECT_EQ(store.collection("problems").size(), 2u);
+    EXPECT_EQ(store.collection("runs").size(), 3u);
+    EXPECT_EQ(store.collection("runs").count(doc(R"({"k":1})")), 1u);
+    EXPECT_EQ(store.collection("runs").count(doc(R"({"k":2})")), 1u);
+  }
+}
+
+TEST(CrossShardCommit, InterleavedSingleShardWritersSeeNoTornCommit) {
+  // A cross-shard commit crash must not disturb single-shard appends that
+  // interleave with it — before and after the crashed commit.
+  TempDir dir("gptc_cross_interleave");
+  FaultInjector fault;
+  {
+    auto store =
+        DocumentStore::open_durable(dir.path(), sharded_options(4, &fault));
+    auto& c = store.collection("samples");
+    for (int i = 0; i < 6; ++i) c.insert(doc(R"({"tag":"pre"})"));
+    fault.arm(FaultPoint::CommitAppend, 1);
+    // ids 7..10 span every shard: the batch takes the commit path.
+    EXPECT_THROW(c.insert_batch({doc(R"({"tag":"batch"})"),
+                                 doc(R"({"tag":"batch"})"),
+                                 doc(R"({"tag":"batch"})"),
+                                 doc(R"({"tag":"batch"})")}),
+                 CrashInjected);
+    for (int i = 0; i < 6; ++i) c.insert(doc(R"({"tag":"post"})"));
+  }
+  auto store = DocumentStore::open_durable(dir.path(), sharded_options(0));
+  const auto& c = *store.find_collection("samples");
+  EXPECT_EQ(c.count(doc(R"({"tag":"pre"})")), 6u);
+  EXPECT_EQ(c.count(doc(R"({"tag":"batch"})")), 0u);
+  EXPECT_EQ(c.count(doc(R"({"tag":"post"})")), 6u);
+  // Iteration order is still globally ascending by id across the gap the
+  // vanished batch left behind.
+  std::int64_t prev = 0;
+  c.for_each([&](const Json& d) {
+    EXPECT_GT(d.at("_id").as_int(), prev);
+    prev = d.at("_id").as_int();
+    return true;
+  });
+}
+
+TEST(Sharding, CrashDuringParallelRecoveryIsHarmless) {
+  TempDir dir("gptc_shard_reccrash");
+  std::string expected;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(4));
+    for (std::size_t i = 1; i <= kWorkloadOps; ++i) apply_op(store, i);
+    expected = store.collection("samples").to_json().dump();
+  }
+  // One recovery task per shard; crash at the start of each in turn.
+  for (std::uint64_t nth = 1; nth <= 4; ++nth) {
+    FaultInjector fault;
+    fault.arm(FaultPoint::RecoverShard, nth);
+    EXPECT_THROW(
+        DocumentStore::open_durable(dir.path(), sharded_options(4, &fault)),
+        CrashInjected);
+    // Recovery mutates nothing until it succeeds: a retry sees everything.
+    auto store = DocumentStore::open_durable(dir.path(), sharded_options(4));
+    EXPECT_EQ(store.collection("samples").to_json().dump(), expected);
+  }
+}
+
+TEST(Sharding, CrossShardBatchSurvivesPowerLossWholeOrNot) {
+  TempDir dir("gptc_shard_powerloss");
+  EngineOptions opts = sharded_options(4);
+  opts.async_commit = true;
+  std::map<std::string, std::uint64_t> synced;
+  {
+    auto store = DocumentStore::open_durable(dir.path(), opts);
+    auto& c = store.collection("samples");
+    // ids 1..4 span every shard: one commit record, acked.
+    auto acked = c.insert_batch({doc(R"({"b":1})"), doc(R"({"b":1})"),
+                                 doc(R"({"b":1})"), doc(R"({"b":1})")});
+    store.storage_engine()->wait_durable(acked.ticket);
+    synced = synced_offsets(store, "samples");
+    // A second cross-shard batch, never acked: power loss takes it whole.
+    (void)c.insert_batch({doc(R"({"b":2})"), doc(R"({"b":2})"),
+                          doc(R"({"b":2})"), doc(R"({"b":2})")});
+  }
+  power_loss(dir.path(), synced);
+  auto store = DocumentStore::open_durable(dir.path(), opts);
+  const auto& c = *store.find_collection("samples");
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.count(doc(R"({"b":1})")), 4u);
+  EXPECT_EQ(c.count(doc(R"({"b":2})")), 0u);
+}
+
+// The TSan shard-concurrency target: parallel writers spread across
+// shards, cross-shard batches, concurrent readers, and a thread forcing
+// group-commit flushes and full compactions — exercising the commit-gate /
+// shard-lock / WAL-mutex lock order under race detection.
+TEST(ShardConcurrency, ParallelWritersAcrossShardsKeepGlobalOrder) {
+  TempDir dir("gptc_shard_threads");
+  EngineOptions opts = sharded_options(4);
+  opts.group_commit = 8;
+  std::string live;
+  {
+  auto store = DocumentStore::open_durable(dir.path(), opts);
+  auto& c = store.collection("samples");
+  c.create_index("w");
+
+  constexpr int kWriters = 8;
+  constexpr int kOpsPerWriter = 40;  // every 10th op a cross-shard batch
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> reads{0};
+
+  std::vector<std::thread> aux;
+  for (int r = 0; r < 2; ++r) {
+    aux.emplace_back([&c, &done, &reads] {
+      const Json q = doc(R"({"w":{"$gte":4}})");
+      while (!done.load(std::memory_order_acquire)) {
+        for (const auto& h : c.find(q)) EXPECT_GE(h.at("w").as_int(), 4);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  aux.emplace_back([&store, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      store.sync();
+      store.checkpoint_all();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&c, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        Json d = Json::object();
+        d["w"] = static_cast<std::int64_t>(w);
+        d["i"] = static_cast<std::int64_t>(i);
+        if (i % 10 == 9) {
+          Json d2 = d;
+          Json d3 = d;
+          Json d4 = d;
+          c.insert_batch({std::move(d), std::move(d2), std::move(d3),
+                          std::move(d4)});
+        } else {
+          c.insert(std::move(d));
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : aux) t.join();
+
+  // 36 singles + 4 batches of 4 per writer.
+  constexpr std::size_t kExpected = kWriters * (36 + 4 * 4);
+  EXPECT_EQ(c.size(), kExpected);
+  EXPECT_GT(reads.load(), 0u);
+  // The merged view is globally ordered by id (= insertion order) even
+  // though writers raced across shards.
+  std::int64_t prev = 0;
+  std::size_t seen = 0;
+  c.for_each([&](const Json& d) {
+    EXPECT_GT(d.at("_id").as_int(), prev);
+    prev = d.at("_id").as_int();
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, kExpected);
+  live = c.to_json().dump();
+  store.sync();
+  }
+  // And it all recovers (in parallel) to the same state.
+  auto reopened = DocumentStore::open_durable(dir.path(), sharded_options(0));
+  EXPECT_EQ(reopened.storage_engine()->shard_count(), 4u);
+  EXPECT_EQ(reopened.collection("samples").to_json().dump(), live);
 }
 
 }  // namespace

@@ -125,6 +125,13 @@ TEST(Lint, MissingInputIsAUsageError) {
 
 // --- cross-file mode (R6–R9) ------------------------------------------------
 
+/// Asserts `--cross-file <args>` reports no findings.
+void expect_cross_clean(const std::string& args) {
+  const RunResult r = run(lint_cmd("--cross-file " + args));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
 /// Asserts `--cross-file <args>` flags exactly `path:line: [rule]`.
 void expect_cross_violation(const std::string& args, const std::string& name,
                             int line, const std::string& rule) {
@@ -159,6 +166,26 @@ TEST(LintCross, R7CatchesLockOrderInversion) {
                          "r7_lock_inversion.cpp", 19, "R7");
 }
 
+TEST(LintCross, R7CatchesInversionThroughByReferenceMutexes) {
+  // The helper locks its two reference parameters in positional order; the
+  // callers pass the same member mutexes in opposite orders. The finding
+  // anchors at the call site that gives the placeholder locks their real
+  // identities, and the report names the substituted pair.
+  expect_cross_violation(fixture("r7_ref_param_inversion.cpp"),
+                         "r7_ref_param_inversion.cpp", 27, "R7");
+  const RunResult r = run(
+      lint_cmd("--cross-file " + fixture("r7_ref_param_inversion.cpp")));
+  EXPECT_NE(r.output.find("'RefInverted::a_'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'RefInverted::b_'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("pair_step"), std::string::npos) << r.output;
+}
+
+TEST(LintCross, ByReferenceHelperSharedByOneOrderIsClean) {
+  // The same helper shape with both callers agreeing on the order must not
+  // be flagged: distinct call sites do not conflate into a false cycle.
+  expect_cross_clean(fixture("clean_ref_param_order.cpp"));
+}
+
 TEST(LintCross, R8CatchesUnsyncedFileCreation) {
   // The engine-layer fixture directory holds the seeded violation and its
   // clean counterpart (fsync through a helper) — exactly one finding.
@@ -182,8 +209,9 @@ TEST(LintCross, FixtureTreeYieldsExactlyOneFindingPerRule) {
   const RunResult r =
       run(lint_cmd("--cross-file " + std::string(GPTC_LINT_FIXTURES)));
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  // R1–R8 seed one finding each; R9 seeds two (thread entry + replay apply).
-  EXPECT_NE(r.output.find("10 finding(s)"), std::string::npos) << r.output;
+  // R1–R8 seed one finding each; R7 seeds a second (the by-reference
+  // inversion) and R9 seeds two (thread entry + replay apply).
+  EXPECT_NE(r.output.find("11 finding(s)"), std::string::npos) << r.output;
   for (const char* rule : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[R6]",
                            "[R7]", "[R8]", "[R9]"})
     EXPECT_NE(r.output.find(rule), std::string::npos)

@@ -7,13 +7,13 @@
 // repository directory — or, with --remote, against a running server.
 //
 // Usage:
-//   crowdctl [--durable] <repo-dir> register <username> <email>
-//   crowdctl [--durable] <repo-dir> upload <api-key> <problem> <records.json>
-//   crowdctl [--durable] <repo-dir> query <api-key> <problem> [<where-clause>]
-//   crowdctl [--durable] <repo-dir> stats <problem>
-//   crowdctl [--durable] <repo-dir> variability <api-key> <problem>
-//   crowdctl [--durable] <repo-dir> collections
-//   crowdctl [--durable] <repo-dir> serve <port> [<workers>]
+//   crowdctl [--durable] [--shards N] <repo-dir> register <username> <email>
+//   crowdctl [--durable] [--shards N] <repo-dir> upload <api-key> <problem> <records.json>
+//   crowdctl [--durable] [--shards N] <repo-dir> query <api-key> <problem> [<where-clause>]
+//   crowdctl [--durable] [--shards N] <repo-dir> stats <problem>
+//   crowdctl [--durable] [--shards N] <repo-dir> variability <api-key> <problem>
+//   crowdctl [--durable] [--shards N] <repo-dir> collections
+//   crowdctl [--durable] [--shards N] <repo-dir> serve <port> [<workers>]
 //   crowdctl --remote <host:port> upload <api-key> <problem> <records.json>
 //   crowdctl --remote <host:port> query <api-key> <problem> [<where-clause>]
 //   crowdctl --remote <host:port> health
@@ -25,6 +25,13 @@
 // without the flag is migrated in place on first use. `serve` with
 // --durable additionally turns on async group commit, the mode the
 // server's upload ack path is designed for.
+//
+// --shards N (with --durable) opens every collection split into N shards,
+// each with its own WAL/snapshot — more concurrent writers, parallel
+// recovery. A directory holding a different shard count is migrated in
+// place on open (crash-safe: the layout flips atomically through
+// engine.manifest). Without the flag the directory keeps whatever count it
+// was written with.
 //
 // The records.json file holds an array of objects:
 //   [{"task_parameters": {...}, "tuning_parameters": {...},
@@ -59,6 +66,8 @@ int usage() {
       "remote commands: upload, query, health, stats\n"
       "options:\n"
       "  --durable    open on the WAL+snapshot storage engine (crash-safe)\n"
+      "  --shards N   with --durable: N shards (WALs) per collection;\n"
+      "               migrates the directory if it holds a different count\n"
       "  --remote     talk to a crowdctl serve instance instead of a dir\n";
   return 2;
 }
@@ -139,7 +148,8 @@ int run_remote(int argc, char** argv) {
   return usage();
 }
 
-int run_serve(const std::string& dir, bool durable, int argc, char** argv) {
+int run_serve(const std::string& dir, bool durable, std::size_t shards,
+              int argc, char** argv) {
   // argv: crowdctl [--durable] <dir> serve <port> [<workers>]
   if (argc != 4 && argc != 5) return usage();
   const int port = std::stoi(argv[3]);
@@ -158,6 +168,7 @@ int run_serve(const std::string& dir, bool durable, int argc, char** argv) {
 
   db::engine::EngineOptions eo;
   eo.async_commit = true;  // the upload ack path batches fsyncs
+  eo.shards = shards;      // 0 = keep the directory's count
   crowd::SharedRepo repo =
       durable ? crowd::SharedRepo::open_durable(dir, 0x6a09e667f3bcc908ULL, eo)
               : crowd::SharedRepo::load(dir);
@@ -186,21 +197,44 @@ int run(int argc, char** argv) {
     return run_remote(argc, argv);
   }
   bool durable = false;
-  if (argc >= 2 && std::string(argv[1]) == "--durable") {
-    durable = true;
-    ++argv;
-    --argc;
+  std::size_t shards = 0;  // 0 = keep the directory's count
+  while (argc >= 2) {
+    const std::string flag = argv[1];
+    if (flag == "--durable") {
+      durable = true;
+      ++argv;
+      --argc;
+    } else if (flag == "--shards") {
+      if (argc < 3) return usage();
+      const int n = std::stoi(argv[2]);
+      if (n < 1) {
+        std::cerr << "crowdctl: --shards expects a positive count\n";
+        return 2;
+      }
+      shards = static_cast<std::size_t>(n);
+      argv += 2;
+      argc -= 2;
+    } else {
+      break;
+    }
+  }
+  if (shards != 0 && !durable) {
+    std::cerr << "crowdctl: --shards requires --durable\n";
+    return 2;
   }
   if (argc < 3) return usage();
   const std::string dir = argv[1];
   const std::string command = argv[2];
 
-  if (command == "serve") return run_serve(dir, durable, argc, argv);
+  if (command == "serve") return run_serve(dir, durable, shards, argc, argv);
 
   // Durable mode persists every mutation through the WAL as it happens;
   // legacy mode mutates in memory and relies on the explicit save() below.
-  crowd::SharedRepo repo = durable ? crowd::SharedRepo::open_durable(dir)
-                                   : crowd::SharedRepo::load(dir);
+  db::engine::EngineOptions eo;
+  eo.shards = shards;
+  crowd::SharedRepo repo =
+      durable ? crowd::SharedRepo::open_durable(dir, 0x6a09e667f3bcc908ULL, eo)
+              : crowd::SharedRepo::load(dir);
   const auto persist = [&] {
     if (durable)
       repo.sync();

@@ -354,11 +354,12 @@ class IndexBuilder {
     ix_.functions_.push_back(std::move(fn));
   }
 
-  /// Parses `(params)` into name -> type (last type identifier before the
-  /// parameter name).
-  std::map<std::string, std::string> parse_params(std::size_t open,
-                                                  std::size_t close) {
-    std::map<std::string, std::string> types;
+  /// Parses `(params)` into an ordered (name, type) list — type is the last
+  /// type identifier before the parameter name. Unrecognized parameters keep
+  /// their slot as ("", "") so positions line up with call-site arguments.
+  std::vector<std::pair<std::string, std::string>> parse_params(
+      std::size_t open, std::size_t close) {
+    std::vector<std::pair<std::string, std::string>> params;
     std::size_t start = open + 1;
     int depth = 0;
     for (std::size_t j = open + 1; j <= close; ++j) {
@@ -366,6 +367,10 @@ class IndexBuilder {
       else if (is_p(t_[j], ")") || is_p(t_[j], ">") || is_p(t_[j], "]"))
         --depth;
       if ((j == close && depth < 0) || (depth == 0 && is_p(t_[j], ","))) {
+        if (j == start) {
+          start = j + 1;
+          continue;  // empty list `()`
+        }
         // One parameter in [start, j): name = last identifier, type = last
         // identifier before the name (skipping cv/ref tokens).
         std::size_t name_tok = t_.size(), type_tok = t_.size();
@@ -381,11 +386,13 @@ class IndexBuilder {
             name_tok = k;
           }
         if (name_tok < t_.size() && type_tok < t_.size())
-          types[t_[name_tok].text] = t_[type_tok].text;
+          params.emplace_back(t_[name_tok].text, t_[type_tok].text);
+        else
+          params.emplace_back("", "");
         start = j + 1;
       }
     }
-    return types;
+    return params;
   }
 
   /// Walks backwards from `tok` (an identifier) over a `a.b->c` chain;
@@ -409,8 +416,14 @@ class IndexBuilder {
   void analyze_body(FunctionInfo& fn, std::size_t params_open,
                     std::size_t params_close) {
     const std::size_t begin = fn.body_begin, end = fn.body_end;
-    std::map<std::string, std::string> var_types =
-        parse_params(params_open, params_close);
+    const auto params = parse_params(params_open, params_close);
+    std::map<std::string, std::string> var_types;
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      if (params[p].first.empty()) continue;
+      var_types.emplace(params[p].first, params[p].second);
+      if (kMutexTypes.count(params[p].second) != 0)
+        fn.mutex_params.emplace(params[p].first, p);
+    }
 
     // Local declarations: `Type [cv/ref] name (=|;|(|{)`.
     for (std::size_t j = begin + 1; j + 1 < end; ++j) {
@@ -547,17 +560,36 @@ class IndexBuilder {
             }
           }
         }
+        // Argument lock identities, position-aligned: if the callee locks a
+        // mutex parameter ($N), finalize() substitutes arg_lock_ids[N].
+        const std::size_t args_close = find_matching(t_, j + 1, "(", ")");
+        if (args_close < end && args_close > j + 2) {
+          std::size_t arg_begin = j + 2;
+          int adepth = 0;
+          for (std::size_t m = j + 2; m <= args_close; ++m) {
+            if (is_p(t_[m], "(") || is_p(t_[m], "[") || is_p(t_[m], "{"))
+              ++adepth;
+            else if (is_p(t_[m], ")") || is_p(t_[m], "]") || is_p(t_[m], "}"))
+              --adepth;
+            if ((m == args_close && adepth < 0) ||
+                (adepth == 0 && is_p(t_[m], ","))) {
+              c.arg_lock_ids.push_back(
+                  lock_expr_id(fn, var_types, arg_begin, m));
+              arg_begin = m + 1;
+            }
+          }
+        }
         fn.calls.push_back(std::move(c));
       }
     }
   }
 
-  /// Records one lock acquisition whose mutex expression spans tokens
-  /// [expr_begin, expr_end).
-  void record_lock(FunctionInfo& fn,
-                   const std::map<std::string, std::string>& var_types,
-                   std::size_t expr_begin, std::size_t expr_end, int line,
-                   std::size_t site_tok, std::size_t scope_end) {
+  /// Normalizes the mutex expression spanning [expr_begin, expr_end) to a
+  /// lock identity: "$N" for a bare mutex-typed parameter (position N),
+  /// "Class::member" otherwise. Returns "" for unrecognizable expressions.
+  std::string lock_expr_id(const FunctionInfo& fn,
+                           const std::map<std::string, std::string>& var_types,
+                           std::size_t expr_begin, std::size_t expr_end) {
     // Strip leading dereference/address-of tokens.
     std::size_t b = expr_begin;
     while (b < expr_end && (is_p(t_[b], "*") || is_p(t_[b], "&"))) ++b;
@@ -568,13 +600,19 @@ class IndexBuilder {
         segments.push_back(t_[k].text);
       } else if (!is_p(t_[k], ".") && !is_p(t_[k], "->") &&
                  !is_p(t_[k], "(") && !is_p(t_[k], ")") && !is_p(t_[k], "*")) {
-        return;  // complex expression: not a recognizable mutex chain
+        return "";  // complex expression: not a recognizable mutex chain
       }
     }
-    if (segments.empty()) return;
+    if (segments.empty()) return "";
     const std::string& member = segments.back();
     std::string owner_cls;
     if (segments.size() == 1) {
+      // A mutex received by reference is not this function's lock: its
+      // identity belongs to whoever passed it. Emit a positional
+      // placeholder for finalize() to substitute per call site.
+      if (const auto it = fn.mutex_params.find(member);
+          it != fn.mutex_params.end())
+        return "$" + std::to_string(it->second);
       // Bare member (or a local mutex). If the enclosing class is known,
       // qualify with it; a local mutex in a member function is rare enough
       // that the over-approximation is acceptable.
@@ -584,8 +622,19 @@ class IndexBuilder {
       if (auto it = var_types.find(root); it != var_types.end())
         owner_cls = it->second;
     }
+    return (owner_cls.empty() ? stem_ : owner_cls) + "::" + member;
+  }
+
+  /// Records one lock acquisition whose mutex expression spans tokens
+  /// [expr_begin, expr_end).
+  void record_lock(FunctionInfo& fn,
+                   const std::map<std::string, std::string>& var_types,
+                   std::size_t expr_begin, std::size_t expr_end, int line,
+                   std::size_t site_tok, std::size_t scope_end) {
+    const std::string id = lock_expr_id(fn, var_types, expr_begin, expr_end);
+    if (id.empty()) return;
     LockSite ls;
-    ls.lock_id = (owner_cls.empty() ? stem_ : owner_cls) + "::" + member;
+    ls.lock_id = id;
     ls.line = line;
     ls.token = site_tok;
     ls.scope_end = scope_end;
@@ -736,8 +785,32 @@ void ProjectIndex::finalize() {
   for (std::size_t i = 0; i < functions_.size(); ++i)
     if (reach[i]) sync_reaching_.insert(functions_[i].base);
 
+  // Placeholder lock ids ("$N" = the callee's N-th parameter) resolve to
+  // the caller's argument identity at each call site; a site that does not
+  // expose the argument falls back to a stable per-callee name so distinct
+  // helpers never conflate.
+  const auto is_placeholder = [](const std::string& id) {
+    return !id.empty() && id[0] == '$';
+  };
+  const auto subst = [&](const FunctionInfo& callee, const CallSite& c,
+                         const std::string& id) -> std::string {
+    if (!is_placeholder(id)) return id;
+    const std::size_t n =
+        static_cast<std::size_t>(std::stoul(id.substr(1)));
+    if (n < c.arg_lock_ids.size() && !c.arg_lock_ids[n].empty())
+      return c.arg_lock_ids[n];  // may itself be the caller's placeholder
+    return callee.base + "::#param" + std::to_string(n);
+  };
+  // The externally visible name of a lock id still parametric in function
+  // `fn` (no caller resolved it).
+  const auto fallback = [&](const FunctionInfo& fn, const std::string& id) {
+    return is_placeholder(id) ? fn.base + "::#param" + id.substr(1) : id;
+  };
+
   // Fixpoint 2: transitive lock sets per function (then folded per base
-  // name, matching the over-approximate call resolution).
+  // name, matching the over-approximate call resolution). Placeholders are
+  // function-local: they are substituted whenever a set crosses a call
+  // edge, so `$0` of one helper never aliases `$0` of another.
   std::vector<std::set<std::string>> locks(functions_.size());
   for (std::size_t i = 0; i < functions_.size(); ++i)
     for (const LockSite& l : functions_[i].locks) locks[i].insert(l.lock_id);
@@ -748,55 +821,124 @@ void ProjectIndex::finalize() {
       for (const CallSite& c : functions_[i].calls) {
         for (std::size_t k : candidates(functions_[i], c)) {
           for (const std::string& id : locks[k])
-            if (locks[i].insert(id).second) changed = true;
+            if (locks[i].insert(subst(functions_[k], c, id)).second)
+              changed = true;
         }
       }
     }
   }
   lock_closure_.clear();
   for (std::size_t i = 0; i < functions_.size(); ++i)
-    lock_closure_[functions_[i].base].insert(locks[i].begin(),
-                                             locks[i].end());
+    for (const std::string& id : locks[i])
+      lock_closure_[functions_[i].base].insert(fallback(functions_[i], id));
 
   // Acquires-while-holding edges: lock L held (within its scope) when lock
   // M is taken directly, or when a call is made whose (transitive) lock set
-  // contains M.
+  // contains M. Edges with a placeholder on either side are parametric —
+  // held back as per-function summaries and instantiated at call sites
+  // below, where the arguments give the locks their real identities.
   lock_edges_.clear();
   auto suppressed_at = [this](const std::string& path, int line) {
     const auto it = lock_order_ok_.find(path);
     return it != lock_order_ok_.end() && it->second.count(line) != 0;
   };
-  for (const FunctionInfo& fn : functions_) {
+  struct ParamEdge {
+    std::string a, b;   // at least one side is a "$N" placeholder
+    std::string via;    // qualified name of the function that takes them
+    bool suppressed = false;
+  };
+  std::vector<std::vector<ParamEdge>> pedges(functions_.size());
+  const auto add_edge = [&](const FunctionInfo& owner, std::size_t owner_ix,
+                            const std::string& a, const std::string& b,
+                            int line, const std::string& detail,
+                            bool sup) {
+    if (a == b) return;
+    if (is_placeholder(a) || is_placeholder(b)) {
+      for (const ParamEdge& pe : pedges[owner_ix])
+        if (pe.a == a && pe.b == b) return;
+      pedges[owner_ix].push_back({a, b, owner.qualified, sup});
+      return;
+    }
+    LockEdgeWitness w;
+    w.path = owner.path;
+    w.line = line;
+    w.function = owner.qualified;
+    w.detail = detail;
+    w.suppressed = sup;
+    lock_edges_[{a, b}].push_back(std::move(w));
+  };
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    const FunctionInfo& fn = functions_[i];
     if (!fn.is_definition) continue;
     for (const LockSite& l : fn.locks) {
       const bool l_ok = suppressed_at(fn.path, l.line);
       for (const LockSite& m : fn.locks) {
         if (m.token <= l.token || m.token >= l.scope_end) continue;
         if (m.lock_id == l.lock_id) continue;
-        LockEdgeWitness w;
-        w.path = fn.path;
-        w.line = m.line;
-        w.function = fn.qualified;
-        w.detail = "'" + l.lock_id + "' held when '" + m.lock_id +
-                   "' is acquired";
-        w.suppressed = l_ok || suppressed_at(fn.path, m.line);
-        lock_edges_[{l.lock_id, m.lock_id}].push_back(std::move(w));
+        add_edge(fn, i, l.lock_id, m.lock_id, m.line,
+                 "'" + l.lock_id + "' held when '" + m.lock_id +
+                     "' is acquired",
+                 l_ok || suppressed_at(fn.path, m.line));
       }
       for (const CallSite& c : fn.calls) {
         if (c.token <= l.token || c.token >= l.scope_end) continue;
         std::set<std::string> acquired;
         for (std::size_t k : candidates(fn, c))
-          acquired.insert(locks[k].begin(), locks[k].end());
+          for (const std::string& id : locks[k])
+            acquired.insert(subst(functions_[k], c, id));
         for (const std::string& id : acquired) {
           if (id == l.lock_id) continue;
-          LockEdgeWitness w;
-          w.path = fn.path;
-          w.line = c.line;
-          w.function = fn.qualified;
-          w.detail = "'" + l.lock_id + "' held across call to '" + c.name +
-                     "' which (transitively) acquires '" + id + "'";
-          w.suppressed = l_ok || suppressed_at(fn.path, c.line);
-          lock_edges_[{l.lock_id, id}].push_back(std::move(w));
+          add_edge(fn, i, l.lock_id, id, c.line,
+                   "'" + l.lock_id + "' held across call to '" + c.name +
+                       "' which (transitively) acquires '" + id + "'",
+                   l_ok || suppressed_at(fn.path, c.line));
+        }
+      }
+    }
+  }
+
+  // Instantiate parametric summaries at their call sites. A substitution
+  // that lands on the caller's own mutex parameter stays parametric and
+  // propagates another level; fully concrete edges are emitted with the
+  // call site as witness. Unresolvable placeholders keep the per-callee
+  // fallback name, so an order violation inside one helper still surfaces.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      const FunctionInfo& fn = functions_[i];
+      if (!fn.is_definition) continue;
+      for (const CallSite& c : fn.calls) {
+        for (std::size_t k : candidates(fn, c)) {
+          for (std::size_t e = 0; e < pedges[k].size(); ++e) {
+            const ParamEdge pe = pedges[k][e];
+            const std::string a = subst(functions_[k], c, pe.a);
+            const std::string b = subst(functions_[k], c, pe.b);
+            if (a == b) continue;
+            const bool sup = pe.suppressed || suppressed_at(fn.path, c.line);
+            if (is_placeholder(a) || is_placeholder(b)) {
+              bool seen = false;
+              for (const ParamEdge& own : pedges[i])
+                if (own.a == a && own.b == b) seen = true;
+              if (!seen) {
+                pedges[i].push_back({a, b, pe.via, sup});
+                changed = true;
+              }
+              continue;
+            }
+            LockEdgeWitness w;
+            w.path = fn.path;
+            w.line = c.line;
+            w.function = fn.qualified;
+            w.detail = "'" + a + "' then '" + b + "' through call to '" +
+                       pe.via + "' (mutexes passed by reference)";
+            w.suppressed = sup;
+            auto& ws = lock_edges_[{a, b}];
+            bool dup = false;
+            for (const LockEdgeWitness& prev : ws)
+              if (prev.function == w.function && prev.line == w.line)
+                dup = true;
+            if (!dup) ws.push_back(std::move(w));
+          }
         }
       }
     }

@@ -80,6 +80,10 @@ struct CallSite {
   std::string owner_root;      // first chain segment ("" for non-chains)
   std::string owner_root_type;     // from params/locals; "" if unknown
   std::vector<std::string> owner_segments;  // chain between root and callee
+  /// Per-argument normalized lock identity ("" when the argument is not a
+  /// recognizable mutex expression). Position-aligned with the callee's
+  /// parameter list so `$N` placeholder locks resolve at the call site.
+  std::vector<std::string> arg_lock_ids;
   int line = 0;
   std::size_t token = 0;
 };
@@ -109,6 +113,12 @@ struct FunctionInfo {
   bool contains_sync = false;   // fsync / fdatasync / sync_parent_dir
   std::size_t body_begin = 0;   // '{' token index (definitions only)
   std::size_t body_end = 0;     // matching '}'
+  /// Mutex-typed parameters, name -> position in the parameter list. Locks
+  /// taken on one of these get the placeholder id `$<position>` instead of a
+  /// class-qualified name; finalize() substitutes the caller's argument
+  /// identity at every call site, so helpers that receive mutexes by
+  /// reference no longer conflate (or hide) their callers' lock orders.
+  std::map<std::string, std::size_t> mutex_params;
   std::vector<LockSite> locks;
   std::vector<CallSite> calls;
   std::vector<CreateSite> creates;
