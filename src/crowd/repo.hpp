@@ -237,7 +237,10 @@ class SharedRepo {
   /// Heap-held so SharedRepo stays movable (load/open_durable return by
   /// value).
   std::unique_ptr<std::mutex> catalog_mu_ = std::make_unique<std::mutex>();
+  // guard-ok: DocumentStore/Collection synchronize internally (shard locks)
   db::DocumentStore store_;
+  // guard-ok: seeded once at construction; split() derives child streams
+  // via const calls, so concurrent readers never mutate it
   rng::Rng key_rng_;
 };
 

@@ -89,6 +89,7 @@ void fold_next_id(std::atomic<std::int64_t>& next_id, std::int64_t seen) {
 /// Acquires every shard's reader lock (ascending shard index — the engine
 /// lock order) so a fan-out query observes multi-shard mutations, which
 /// apply under every affected shard's writer lock, none-or-all.
+// returns_lock: Shard::mu shared
 template <typename Shards>
 std::vector<std::shared_lock<std::shared_mutex>> lock_shared_all(
     const Shards& shards) {

@@ -173,9 +173,9 @@ class Collection {
   /// concurrent writers spread evenly; within a shard docs stay in
   /// insertion order (= ascending id, since ids are monotone).
   struct Shard {
-    std::vector<Json> docs;
-    std::map<std::int64_t, std::size_t> id_pos;
-    std::map<std::string, engine::OrderedIndex> indexes;
+    std::vector<Json> docs;                               // guarded_by: mu
+    std::map<std::int64_t, std::size_t> id_pos;           // guarded_by: mu
+    std::map<std::string, engine::OrderedIndex> indexes;  // guarded_by: mu
     mutable std::shared_mutex mu;
   };
 
@@ -183,17 +183,22 @@ class Collection {
   void attach_engine(engine::StorageEngine* e) { engine_ = e; }
   /// Re-buckets the collection into `shards` empty shards (must be called
   /// before concurrent use; existing docs are redistributed).
+  // guard-ok: runs single-threaded, before any concurrent use
   void configure_shards(std::size_t shards);
   /// Replaces state from a full snapshot / legacy export (to_json shape),
   /// distributing docs across the current shards.
+  // guard-ok: single-threaded recovery/import path
   void restore(const Json& j);
   /// Replaces ONE shard's state from its snapshot (to_json shape whose
   /// docs are that shard's subset); folds next_id forward.
+  // guard-ok: single-threaded recovery path
   void restore_shard(std::size_t shard, const Json& j);
   /// Applies one WAL op payload to one shard during replay (no logging).
+  // guard-ok: single-threaded recovery replay
   void replay_shard_op(std::size_t shard, const Json& op);
   /// to_json() restricted to one shard (snapshot payload). Caller holds
   /// the shard lock or has exclusive use.
+  // requires_lock: Shard::mu shared
   Json shard_to_json(std::size_t shard) const;
 
   // --- internals ---------------------------------------------------------
@@ -201,20 +206,26 @@ class Collection {
     return static_cast<std::size_t>(static_cast<std::uint64_t>(id)) %
            shards_.size();
   }
-  void insert_into_shard(Shard& s, Json document);  // caller holds s.mu
+  void insert_into_shard(Shard& s, Json document);  // requires_lock: Shard::mu
+  // requires_lock: Shard::mu
   std::size_t update_shard_locked(Shard& s, const Json& query,
                                   const Json& update);
+  // requires_lock: Shard::mu
   std::size_t remove_shard_locked(Shard& s, const Json& query);
-  static void index_doc(Shard& s, const Json& doc);
-  static void unindex_doc(Shard& s, const Json& doc);
+  static void index_doc(Shard& s, const Json& doc);    // requires_lock: Shard::mu
+  static void unindex_doc(Shard& s, const Json& doc);  // requires_lock: Shard::mu
+  // guard-ok: single-threaded recovery/migration rebuild
   void rebuild_shard_derived(Shard& s);
+  // requires_lock: Shard::mu shared
   static const Json* doc_by_id(const Shard& s, std::int64_t id);
   /// Index-served candidate ids (sorted = insertion order) within one
   /// shard, or nullopt when no declared index can narrow the query.
+  // requires_lock: Shard::mu shared
   std::optional<std::vector<std::int64_t>> plan(const Shard& s,
                                                 const Json& query) const;
   /// The single {path: condition} entry an index answers exactly for
   /// count()/exists(), or nullptr.
+  // requires_lock: Shard::mu shared
   const engine::OrderedIndex* exact_index(const Shard& s,
                                           const Json& query,
                                           const Json** condition) const;
@@ -228,10 +239,14 @@ class Collection {
       const std::map<std::size_t, Json>& ops_by_shard,
       const std::function<void()>& apply);
 
-  std::string name_;
+  std::string name_;  // guard-ok: immutable after construction
   std::atomic<std::int64_t> next_id_{1};
+  // guard-ok: vector shape fixed by single-threaded configure_shards;
+  // concurrent phases only dereference the stable unique_ptrs
   std::vector<std::unique_ptr<Shard>> shards_;
+  // guard-ok: declared during single-threaded setup, read-only afterwards
   std::vector<std::string> index_paths_;  // declared defs, mirrored per shard
+  // guard-ok: attached once before any concurrent use
   engine::StorageEngine* engine_ = nullptr;  // owned by the DocumentStore
 };
 
@@ -291,7 +306,10 @@ class DocumentStore {
  private:
   friend class engine::StorageEngine;
 
+  // guard-ok: map shape fixed during single-threaded setup (open/load or
+  // pre-traffic collection() calls); concurrent phases only look up entries
   std::map<std::string, Collection> collections_;
+  // guard-ok: set once by open_durable before any concurrent use
   std::unique_ptr<engine::StorageEngine> engine_;
 };
 

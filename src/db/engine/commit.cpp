@@ -8,9 +8,10 @@
 
 namespace gptc::db::engine {
 
-GroupCommitter::GroupCommitter(FaultInjector* fault) : fault_(fault) {
-  thread_ = std::thread([this] { run(); });
-}
+GroupCommitter::GroupCommitter(FaultInjector* fault)
+    // thread_ is the last member, so every field run() touches is already
+    // initialized when the commit thread starts here.
+    : fault_(fault), thread_([this] { run(); }) {}
 
 GroupCommitter::~GroupCommitter() {
   {

@@ -92,12 +92,13 @@ class GroupCommitter {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // commit thread sleeps here
   std::condition_variable done_cv_;  // durability waiters sleep here
-  std::map<std::string, ShardState> shards_;
-  bool stop_ = false;
-  bool crashed_ = false;
-  std::string crash_reason_;
-  FaultInjector* fault_;  // not owned; may be nullptr
-  std::thread thread_;    // last member: joined before state is destroyed
+  std::map<std::string, ShardState> shards_;  // guarded_by: mu_
+  bool stop_ = false;                         // guarded_by: mu_
+  bool crashed_ = false;                      // guarded_by: mu_
+  std::string crash_reason_;                  // guarded_by: mu_
+  // guard-ok: not owned, may be nullptr; set once before the thread starts
+  FaultInjector* fault_;
+  std::thread thread_;  // last member: joined before state is destroyed
 };
 
 }  // namespace gptc::db::engine

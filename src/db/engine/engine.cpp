@@ -623,6 +623,7 @@ void StorageEngine::checkpoint_all() {
     (void)name;
     for (std::size_t k = 0; k < c.shard_count(); ++k) {
       std::unique_lock lock(c.shards_[k]->mu);
+      // guard-ok: writer lock held (analyzer cannot type the binding `c`)
       checkpoint_shard_locked(c, k);
     }
   }

@@ -240,19 +240,25 @@ class StorageEngine {
   /// power loss could keep the snapshot (one member applied) but erase the
   /// record (every other member lost). Cheap when nothing is pending.
   void sync_commit_wal_if_pending();
+  // requires_lock: Shard::mu
   void checkpoint_shard_locked(Collection& c, std::size_t shard);
+  // guard-ok: single-threaded recovery-time shard-count migration
   void migrate_shard_count(DocumentStore& store, std::size_t from,
                            std::size_t to);
 
-  std::filesystem::path dir_;
-  EngineOptions opts_;
+  std::filesystem::path dir_;  // guard-ok: immutable after construction
+  EngineOptions opts_;         // guard-ok: immutable after construction
+  // guard-ok: written only during single-threaded recovery/migration
   std::size_t shard_count_ = 1;
+  // guard-ok: written only during single-threaded recovery
   std::vector<std::string> recovery_warnings_;
+  // guard-ok: toggled only during single-threaded recovery replay
   bool replaying_ = false;
-  DocumentStore* store_ = nullptr;  // set by recover(); owner of this engine
+  // guard-ok: set once by recover() before any concurrent use
+  DocumentStore* store_ = nullptr;  // owner of this engine
   std::shared_mutex commit_gate_;
   mutable std::mutex wals_mu_;  // guards the map shape only
-  std::map<std::string, Wal> wals_;
+  std::map<std::string, Wal> wals_;  // guarded_by: wals_mu_
   /// Async commit thread; null unless opts_.async_commit. Declared last so
   /// it is destroyed (thread joined) before the WALs it points into.
   std::unique_ptr<GroupCommitter> committer_;

@@ -107,17 +107,19 @@ class WalWriter {
   std::uint64_t synced_bytes() const;
 
  private:
+  // requires_lock: mu_
   void sync_locked();
 
-  std::filesystem::path path_;
-  WalFormat fmt_;
-  std::size_t group_commit_;
-  std::uint64_t next_seq_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t synced_bytes_ = 0;
-  std::size_t pending_ = 0;
-  int fd_ = -1;
-  FaultInjector* fault_;  // not owned; may be nullptr
+  std::filesystem::path path_;   // guard-ok: immutable after construction
+  WalFormat fmt_;                // guard-ok: immutable after construction
+  std::size_t group_commit_;     // guard-ok: immutable after construction
+  std::uint64_t next_seq_;       // guarded_by: mu_
+  std::uint64_t bytes_ = 0;      // guarded_by: mu_
+  std::uint64_t synced_bytes_ = 0;  // guarded_by: mu_
+  std::size_t pending_ = 0;      // guarded_by: mu_
+  int fd_ = -1;                  // guarded_by: mu_
+  // guard-ok: not owned, may be nullptr; set once before any thread starts
+  FaultInjector* fault_;
   /// Serializes append/sync/reset and the counters they share: appends run
   /// under per-collection locks, but sync()/bytes() arrive from
   /// DocumentStore::sync()/wal_bytes() on other threads.

@@ -106,15 +106,19 @@ class CrowdServer {
   bool track_connection(int fd);
   void untrack_connection(int fd);
 
+  // guard-ok: reference bound at construction; SharedRepo locks internally
   crowd::SharedRepo& repo_;
+  // guard-ok: finalized by start() before the worker/accept threads exist
   ServerOptions opts_;
+  // guard-ok: opened by start() before the accept thread; stop()'s
+  // shutdown(2) wake-up is the documented cross-thread close protocol
   TcpListener listener_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
   std::mutex conn_mu_;  // guards live_fds_ (leaf lock)
-  std::map<int, bool> live_fds_;
+  std::map<int, bool> live_fds_;  // guarded_by: conn_mu_
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
@@ -122,6 +126,8 @@ class CrowdServer {
   std::atomic<std::uint64_t> requests_error_{0};
   std::atomic<std::uint64_t> records_uploaded_{0};
 
+  // guard-ok: created by start() before the accept thread; destroyed by
+  // stop() after it joins
   std::unique_ptr<parallel::ThreadPool> pool_;
   std::thread accept_thread_;  // last: joined by stop()/dtor
 };

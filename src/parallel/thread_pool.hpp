@@ -70,8 +70,9 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_;  // guarded_by: mutex_
+  bool stop_ = false;                        // guarded_by: mutex_
+  // guard-ok: written by the constructor and destructor only
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,44 @@
+// Fixture: clean shared_mutex discipline. Reads take the lock in shared
+// mode, writes take it exclusive, the upgrade path releases its shared lock
+// before re-acquiring exclusively (never writes under the shared hold), and
+// one deliberate unlocked read carries an explicit escape with a reason.
+// Cross-file mode must report nothing in this file.
+#include <shared_mutex>
+
+class Registry {
+ public:
+  int read_value() const;
+  void set_value(int v);
+  void upgrade_value(int delta);
+  int racy_hint() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  // guarded_by: mu_
+  int value_ = 0;
+};
+
+int Registry::read_value() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return value_;
+}
+
+void Registry::set_value(int v) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  value_ = v;
+}
+
+void Registry::upgrade_value(int delta) {
+  int snapshot = 0;
+  {
+    std::shared_lock<std::shared_mutex> reader(mu_);
+    snapshot = value_;
+  }
+  std::unique_lock<std::shared_mutex> writer(mu_);
+  value_ = snapshot + delta;
+}
+
+int Registry::racy_hint() const {
+  // guard-ok: approximate read for monitoring; staleness is acceptable
+  return value_;
+}

@@ -1,0 +1,25 @@
+// Fixture: R10 guarded-by. `total_` is annotated as guarded by `mu_`;
+// `locked_add` takes the lock before touching it (clean) while `racy_add`
+// writes the member with no lock held at all. Cross-file mode must flag the
+// unguarded write and nothing else.
+#include <mutex>
+
+class Counters {
+ public:
+  void locked_add(long delta);
+  void racy_add(long delta);
+
+ private:
+  std::mutex mu_;
+  // guarded_by: mu_
+  long total_ = 0;
+};
+
+void Counters::locked_add(long delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ += delta;
+}
+
+void Counters::racy_add(long delta) {
+  total_ += delta;  // seeded violation: R10 (no lock held)
+}

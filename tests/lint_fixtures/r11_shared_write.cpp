@@ -1,0 +1,27 @@
+// Fixture: R11 shared-lock write. `stats_` is guarded by a shared_mutex;
+// `snapshot_stats` holds it in shared mode to read (clean) while `bump`
+// writes the member under the same shared-mode lock — mutual exclusion
+// against other readers is absent, so the write races. Cross-file mode must
+// flag the shared-mode write and nothing else.
+#include <shared_mutex>
+
+class StatTable {
+ public:
+  int snapshot_stats() const;
+  void bump();
+
+ private:
+  mutable std::shared_mutex mu_;
+  // guarded_by: mu_
+  int stats_ = 0;
+};
+
+int StatTable::snapshot_stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return stats_;
+}
+
+void StatTable::bump() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  stats_ += 1;  // seeded violation: R11 (write under shared lock)
+}

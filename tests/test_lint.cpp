@@ -110,11 +110,11 @@ TEST(Lint, EngineSourcesAreClean) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
-TEST(Lint, ListRulesDescribesAllNine) {
+TEST(Lint, ListRulesDescribesAllEleven) {
   const RunResult r = run(lint_cmd("--list-rules"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  for (const char* rule :
-       {"R1 ", "R2 ", "R3 ", "R4 ", "R5 ", "R6 ", "R7 ", "R8 ", "R9 "})
+  for (const char* rule : {"R1 ", "R2 ", "R3 ", "R4 ", "R5 ", "R6 ", "R7 ",
+                           "R8 ", "R9 ", "R10 ", "R11 "})
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
 }
 
@@ -209,11 +209,11 @@ TEST(LintCross, FixtureTreeYieldsExactlyOneFindingPerRule) {
   const RunResult r =
       run(lint_cmd("--cross-file " + std::string(GPTC_LINT_FIXTURES)));
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  // R1–R8 seed one finding each; R7 seeds a second (the by-reference
-  // inversion) and R9 seeds two (thread entry + replay apply).
-  EXPECT_NE(r.output.find("11 finding(s)"), std::string::npos) << r.output;
+  // R1–R8, R10 and R11 seed one finding each; R7 seeds a second (the
+  // by-reference inversion) and R9 seeds two (thread entry + replay apply).
+  EXPECT_NE(r.output.find("13 finding(s)"), std::string::npos) << r.output;
   for (const char* rule : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[R6]",
-                           "[R7]", "[R8]", "[R9]"})
+                           "[R7]", "[R8]", "[R9]", "[R10]", "[R11]"})
     EXPECT_NE(r.output.find(rule), std::string::npos)
         << "missing " << rule << " in:\n"
         << r.output;
@@ -226,6 +226,70 @@ TEST(LintCross, RepoSourcesAreCleanInCrossFileMode) {
   const RunResult r = run(lint_cmd("--cross-file " +
                                    std::string(GPTC_LINT_SRC_DIR)));
   EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- guard analysis (R10/R11) ----------------------------------------------
+
+TEST(LintGuard, R10CatchesUnguardedWrite) {
+  // `total_` carries a guarded-by annotation; the write in racy_add holds
+  // nothing. The locked_add sibling (same member, lock held) stays clean.
+  expect_cross_violation(fixture("r10_guard.cpp"), "r10_guard.cpp", 24, "R10");
+}
+
+TEST(LintGuard, R11CatchesWriteUnderSharedLock) {
+  // bump() writes stats_ while its shared_mutex is held only in shared
+  // mode; the shared-mode read in snapshot_stats stays clean.
+  expect_cross_violation(fixture("r11_shared_write.cpp"),
+                         "r11_shared_write.cpp", 26, "R11");
+}
+
+TEST(LintGuard, SharedModeDisciplineIsClean) {
+  // All four shared_mutex modes at once: read under shared_lock, write
+  // under unique_lock, the upgrade path that releases its shared lock
+  // before re-locking exclusively, and a deliberate unlocked read behind
+  // an explicit escape comment — none may be flagged.
+  expect_cross_clean(fixture("clean_guard_modes.cpp"));
+}
+
+TEST(LintGuard, GuardViolationsAreInvisibleToPerFileMode) {
+  // Lock-set checking needs the ProjectIndex (annotations can live in a
+  // different TU than the access): without --cross-file the seeded
+  // violations must not fire.
+  const RunResult r = run(lint_cmd(fixture("r10_guard.cpp") + " " +
+                                   fixture("r11_shared_write.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintGuard, EscapeCommentIsLoadBearing) {
+  // Strip the escape comment out of the clean fixture: the deliberate
+  // unlocked read must then surface as R10 — proving the guard-ok line is
+  // what suppresses it, not a blind spot.
+  std::ifstream in(fixture("clean_guard_modes.cpp"));
+  ASSERT_TRUE(in.is_open());
+  const std::string stripped = "lint_guard_escape_stripped.cpp";
+  {
+    std::ofstream out(stripped);
+    std::string line;
+    while (std::getline(in, line))
+      if (line.find("guard-ok") == std::string::npos) out << line << "\n";
+  }
+  const RunResult r = run(lint_cmd("--cross-file " + stripped));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[R10]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("Registry::value_"), std::string::npos) << r.output;
+  std::remove(stripped.c_str());
+}
+
+TEST(LintGuard, TextFormatEndsWithPerRuleSummary) {
+  const RunResult r =
+      run(lint_cmd("--cross-file " + fixture("r10_guard.cpp") + " " +
+                   fixture("r11_shared_write.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("rule summary:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("R10=1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("R11=1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("R1=0"), std::string::npos) << r.output;
 }
 
 // --- output formats and baseline -------------------------------------------
@@ -316,6 +380,29 @@ TEST(LintBaseline, NonBaselinedFindingStillFails) {
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(r.output.find("[R2]"), std::string::npos) << r.output;
   EXPECT_EQ(r.output.find("[R1]"), std::string::npos) << r.output;
+  std::remove(baseline.c_str());
+}
+
+TEST(LintBaseline, StrictModeTurnsStaleEntriesFatal) {
+  const std::string baseline = "lint_test_baseline_strict.json";
+  RunResult r = run(lint_cmd("--write-baseline " + baseline + " " +
+                             fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Against a clean file the entry is stale: advisory by default...
+  r = run(lint_cmd("--baseline " + baseline + " " +
+                   fixture("clean_patterns.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // ...but fatal under --baseline-strict, so dead suppressions cannot
+  // accumulate in the checked-in file.
+  r = run(lint_cmd("--baseline " + baseline + " --baseline-strict " +
+                   fixture("clean_patterns.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("fatal under --baseline-strict"), std::string::npos)
+      << r.output;
+  // A live (matching) baseline stays green even in strict mode.
+  r = run(lint_cmd("--baseline " + baseline + " --baseline-strict " +
+                   fixture("r1_c_prng.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
   std::remove(baseline.c_str());
 }
 

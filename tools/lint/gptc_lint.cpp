@@ -36,7 +36,8 @@ using gptc::lint::Finding;
 constexpr const char* kUsage =
     "usage: gptc-lint [--list-rules] [--quiet] [--cross-file]\n"
     "                 [--format=text|json|sarif] [--baseline FILE]\n"
-    "                 [--write-baseline FILE] <file-or-directory>...\n";
+    "                 [--baseline-strict] [--write-baseline FILE]\n"
+    "                 <file-or-directory>...\n";
 
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -74,6 +75,7 @@ std::vector<std::string> collect_inputs(const std::vector<std::string>& args,
 int main(int argc, char** argv) {
   bool quiet = false;
   bool cross_file = false;
+  bool baseline_strict = false;
   std::string format = "text";
   std::string baseline_path;
   std::string write_baseline_path;
@@ -90,6 +92,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--cross-file") {
       cross_file = true;
+      continue;
+    }
+    if (arg == "--baseline-strict") {
+      baseline_strict = true;
       continue;
     }
     if (arg.rfind("--format=", 0) == 0) {
@@ -182,7 +188,10 @@ int main(int argc, char** argv) {
   }
 
   // Baseline suppression: known findings drop out; baseline entries that no
-  // longer match anything are stale and reported so the file shrinks.
+  // longer match anything are stale and reported so the file shrinks —
+  // under --baseline-strict a stale entry fails the run outright, so dead
+  // suppressions cannot accumulate.
+  std::size_t stale = 0;
   std::vector<BaselineEntry> baseline;
   if (!baseline_path.empty()) {
     std::string error;
@@ -202,7 +211,6 @@ int main(int argc, char** argv) {
       }
       if (!suppressed) active.push_back(f);
     }
-    std::size_t stale = 0;
     for (std::size_t i = 0; i < baseline.size(); ++i) {
       if (entry_used[i]) continue;
       ++stale;
@@ -213,7 +221,9 @@ int main(int argc, char** argv) {
     if (stale != 0) {
       std::cerr << "gptc-lint: " << stale << " stale baseline entr"
                 << (stale == 1 ? "y" : "ies") << " in " << baseline_path
-                << " — remove or regenerate with --write-baseline\n";
+                << " — remove or regenerate with --write-baseline"
+                << (baseline_strict ? " (fatal under --baseline-strict)" : "")
+                << "\n";
     }
     findings = std::move(active);
   }
@@ -227,6 +237,18 @@ int main(int argc, char** argv) {
       std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
                 << f.message << "\n";
     }
+    // One-line per-rule summary so CI logs show coverage at a glance.
+    static constexpr const char* kRuleIds[] = {"R1", "R2", "R3", "R4",
+                                               "R5", "R6", "R7", "R8",
+                                               "R9", "R10", "R11"};
+    std::cout << "gptc-lint: rule summary:";
+    for (const char* id : kRuleIds) {
+      std::size_t n = 0;
+      for (const Finding& f : findings)
+        if (f.rule == id) ++n;
+      std::cout << " " << id << "=" << n;
+    }
+    std::cout << "\n";
   }
   if (!quiet) {
     std::cerr << "gptc-lint: " << findings.size() << " finding(s) in "
@@ -234,5 +256,6 @@ int main(int argc, char** argv) {
               << (baseline.empty() ? "" : " (after baseline suppression)")
               << "\n";
   }
+  if (baseline_strict && stale != 0) return 1;
   return findings.empty() ? 0 : 1;
 }

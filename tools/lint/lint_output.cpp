@@ -43,6 +43,13 @@ constexpr RuleMeta kRules[] = {
     {"R9", "noexcept-boundary",
      "Thread entry points and WAL replay apply sites must be noexcept or "
      "wrapped in a catch-all."},
+    {"R10", "guarded-by",
+     "A member with a guarded-by annotation (and every call into a "
+     "requires-lock function) must happen with the named lock held, "
+     "propagated interprocedurally."},
+    {"R11", "shared-lock-write",
+     "No write to a guarded or inferred-guarded member while its "
+     "shared_mutex is held only in shared mode."},
 };
 
 std::string escape(const std::string& s) {

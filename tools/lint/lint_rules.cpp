@@ -694,6 +694,10 @@ std::vector<Finding> run_project_rules(const ProjectIndex& index) {
             "`// lint: lock-order-ok <reason>` if the orders can never "
             "interleave"});
   }
+  // R10/R11: guarded-by analysis findings, computed by ProjectIndex during
+  // finalize() (the checks need the interprocedural held-lock fixpoints).
+  for (const GuardFinding& g : index.guard_findings())
+    out.push_back(Finding{g.path, g.line, g.rule, g.message});
   return out;
 }
 
@@ -750,7 +754,14 @@ std::string describe_rules() {
       "durability-ok <reason>`)\n"
       "R9 noexcept-boundary         [--cross-file] thread entry points and "
       "WAL replay apply sites must be noexcept or catch-all wrapped "
-      "(escape: `// lint: noexcept-ok <reason>`)\n";
+      "(escape: `// lint: noexcept-ok <reason>`)\n"
+      "R10 guarded-by               [--cross-file] a member annotated "
+      "`// guarded_by: mu` (or a call into a `// requires_lock: mu` "
+      "function) must happen with the lock held, interprocedurally "
+      "(escape: `// guard-ok: <reason>`)\n"
+      "R11 shared-lock-write        [--cross-file] no write to a guarded or "
+      "inferred-guarded member while its shared_mutex is held only in "
+      "shared mode (escape: `// guard-ok: <reason>`)\n";
 }
 
 }  // namespace gptc::lint

@@ -1,7 +1,11 @@
 #include "project_index.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <tuple>
 
 namespace gptc::lint {
 
@@ -58,6 +62,25 @@ const std::set<std::string_view> kMutexTypes = {
 const std::set<std::string_view> kLockWrappers = {
     "lock_guard", "unique_lock", "shared_lock", "scoped_lock"};
 
+/// Container/atomic methods that mutate their object — a member they are
+/// invoked on counts as written for the guard analysis.
+const std::set<std::string_view> kMutatingMethods = {
+    "push_back", "emplace_back", "push_front", "emplace_front", "push",
+    "pop",       "pop_back",     "pop_front",  "insert",
+    "insert_or_assign",          "emplace",    "emplace_hint",
+    "try_emplace", "erase",      "clear",      "resize",
+    "reserve",   "assign",       "swap",       "merge",
+    "extract",   "store",        "exchange",   "fetch_add",
+    "fetch_sub", "reset"};
+
+/// Member types the guard analysis never checks: their own synchronization
+/// (atomics), the synchronization primitives themselves, and thread handles.
+bool guard_exempt_type_id(const std::string& s) {
+  return s.rfind("atomic", 0) == 0 || kMutexTypes.count(s) != 0 ||
+         s == "condition_variable" || s == "condition_variable_any" ||
+         s == "thread" || s == "jthread" || s == "once_flag";
+}
+
 }  // namespace
 
 /// All the pass-1 extraction for one file; owns the transient state (class
@@ -93,15 +116,62 @@ class IndexBuilder {
   }
 
  private:
-  /// Copies the file's `lock-order-ok` directives into the index (R7 needs
-  /// them at finalize time, when the per-file directive list is gone).
+  /// Copies the file's `lock-order-ok` and guard-ok directives into the
+  /// index (R7 and the guard analysis need them at finalize time, when the
+  /// per-file directive list is gone).
   void record_directives() {
     for (const Directive& d : f_.directives) {
       if (d.name == "lock-order-ok") {
         ix_.lock_order_ok_[f_.path].insert(d.line);
         ix_.lock_order_ok_[f_.path].insert(d.line + 1);
       }
+      if (d.name == "guard-ok" && !d.reason.empty()) {
+        ix_.guard_ok_[f_.path].insert(d.line);
+        // A comment-above escape also covers the next line; a trailing one
+        // binds to its own line only, or it would leak onto the statement
+        // below it.
+        if (d.own_line) ix_.guard_ok_[f_.path].insert(d.line + 1);
+      }
     }
+  }
+
+  /// The directive named `name` that covers `line` (the annotation sits on
+  /// the line itself or up to `window` lines above it — multi-line
+  /// signatures push the name token below the comment). Only a comment that
+  /// starts its own line may apply to lines below it; a trailing comment
+  /// annotates its own line exclusively, so an annotation on one member
+  /// declaration never bleeds into the next.
+  const Directive* directive_at(std::string_view name, int line,
+                                int window = 1) const {
+    for (const Directive& d : f_.directives) {
+      if (d.name != name || d.line > line || line - d.line > window) continue;
+      if (d.line == line || d.own_line) return &d;
+    }
+    return nullptr;
+  }
+
+  /// First whitespace-separated word of an annotation's text (the lock
+  /// expression) qualified to a lock identity: `mu_` becomes `Cls::mu_`,
+  /// an already-qualified `Shard::mu` is kept as-is.
+  std::string qualify_lock(const std::string& text, const std::string& cls) {
+    std::size_t b = 0;
+    while (b < text.size() && std::isspace(static_cast<unsigned char>(text[b])))
+      ++b;
+    std::size_t e = b;
+    while (e < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[e])))
+      ++e;
+    std::string word = text.substr(b, e - b);
+    if (word.empty()) return "";
+    if (word.find("::") != std::string::npos) return word;
+    return (cls.empty() ? stem_ : cls) + "::" + word;
+  }
+
+  /// True when an annotation's text ends in the word "shared" after the
+  /// lock expression (shared-mode contract).
+  static bool annotation_shared(const std::string& text) {
+    return text.size() >= 6 &&
+           text.compare(text.size() - 6, 6, "shared") == 0;
   }
 
   /// Handles `class`/`struct` at `i`. Returns the body-'{' index when a
@@ -144,6 +214,7 @@ class IndexBuilder {
       std::size_t run_begin = i;
       std::size_t j = i;
       bool has_paren_after_ident = false;
+      bool seen_eq = false;
       std::size_t last_ident = t_.size();
       while (j < end) {
         if (is_p(t_[j], "{")) {
@@ -153,6 +224,20 @@ class IndexBuilder {
           has_paren_after_ident = true;  // treat as non-member
           break;
         }
+        // A template argument list in the type is skipped whole so a '('
+        // inside it (std::function<void()>, ...) is not mistaken for a
+        // function declarator. Only before '=': past the initializer a '<'
+        // may be a comparison with no matching '>'.
+        if (!seen_eq && is_p(t_[j], "<") && j > run_begin &&
+            t_[j - 1].kind == TokKind::Identifier &&
+            t_[j - 1].text != "operator") {
+          const std::size_t close = find_matching(t_, j, "<", ">");
+          if (close < end) {
+            j = close + 1;
+            continue;
+          }
+        }
+        if (is_p(t_[j], "=")) seen_eq = true;
         if (is_p(t_[j], "(")) {
           if (j > run_begin && t_[j - 1].kind == TokKind::Identifier)
             has_paren_after_ident = true;
@@ -191,6 +276,7 @@ class IndexBuilder {
     const std::string& name = t_[name_tok].text;
     std::vector<std::string> type_ids;
     bool is_unordered = false, is_mutex = false, is_thread = false;
+    bool is_shared_mutex = false;
     std::string container;
     for (std::size_t k = type_begin; k < name_tok; ++k) {
       if (t_[k].kind != TokKind::Identifier) continue;
@@ -203,6 +289,8 @@ class IndexBuilder {
         container = s;
       }
       if (kMutexTypes.count(s) != 0) is_mutex = true;
+      if (s == "shared_mutex" || s == "shared_timed_mutex")
+        is_shared_mutex = true;
       if (s == "thread" || s == "jthread") is_thread = true;
     }
     if (type_ids.empty()) return;
@@ -211,8 +299,17 @@ class IndexBuilder {
       ix_.unordered_members_.push_back(
           {cls, name, container, f_.path, t_[name_tok].line});
     if (is_mutex)
-      ix_.mutex_members_.push_back({cls, name, f_.path, t_[name_tok].line});
+      ix_.mutex_members_.push_back(
+          {cls, name, f_.path, t_[name_tok].line, is_shared_mutex});
     if (is_thread) ix_.thread_members_.insert(name);
+    // Guard annotations on the declaration itself.
+    const int line = t_[name_tok].line;
+    if (const Directive* d = directive_at("guarded_by", line)) {
+      const std::string id = qualify_lock(d->reason, cls);
+      if (!id.empty()) ix_.guarded_by_[cls][name] = id;
+    }
+    if (directive_at("guard-ok", line) != nullptr)
+      ix_.member_guard_ok_.insert(cls + "::" + name);
   }
 
   // --- function extraction -------------------------------------------------
@@ -345,6 +442,20 @@ class IndexBuilder {
     fn.line = t_[i].line;
     fn.is_noexcept = marked_noexcept;
     fn.is_definition = is_def;
+    // Guard annotations above (or on) the signature line. A window of two
+    // lines tolerates a long return type pushing the name token down.
+    if (const Directive* d = directive_at("requires_lock", fn.line, 2)) {
+      const std::string id = qualify_lock(d->reason, fn.cls);
+      if (!id.empty())
+        fn.requires_locks.push_back({id, annotation_shared(d->reason)});
+    }
+    if (const Directive* d = directive_at("returns_lock", fn.line, 2)) {
+      const std::string id = qualify_lock(d->reason, fn.cls);
+      if (!id.empty())
+        fn.returns_locks.push_back({id, annotation_shared(d->reason)});
+    }
+    if (directive_at("guard-ok", fn.line, 2) != nullptr)
+      fn.guard_exempt = true;
     if (is_def) {
       fn.body_begin = j;
       fn.body_end = find_matching(t_, j, "{", "}");
@@ -440,11 +551,77 @@ class IndexBuilder {
       }
     }
 
+    // Smart-pointer locals (`shared_ptr<T> p`, `unique_ptr<T> p`) and
+    // factory initializers (`auto p = std::make_shared<T>(...)`): the
+    // variable's type is the last identifier inside the template arguments,
+    // so chains through the pointer resolve like chains through a T.
+    for (std::size_t j = begin + 1; j + 1 < end; ++j) {
+      if (t_[j].kind != TokKind::Identifier) continue;
+      const std::string& s = t_[j].text;
+      const bool smart = s == "shared_ptr" || s == "unique_ptr";
+      const bool factory = s == "make_shared" || s == "make_unique";
+      if ((!smart && !factory) || !is_p(t_[j + 1], "<")) continue;
+      const std::size_t close = find_matching(t_, j + 1, "<", ">");
+      if (close >= end) continue;
+      std::string ty;
+      for (std::size_t k = j + 2; k < close; ++k)
+        if (t_[k].kind == TokKind::Identifier) ty = t_[k].text;
+      if (ty.empty()) continue;
+      if (smart) {
+        std::size_t k = close + 1;
+        while (k < end && is_cv_ref(t_[k])) ++k;
+        if (k + 1 < end && t_[k].kind == TokKind::Identifier &&
+            (is_p(t_[k + 1], "=") || is_p(t_[k + 1], ";") ||
+             is_p(t_[k + 1], "(") || is_p(t_[k + 1], "{")))
+          var_types.emplace(t_[k].text, ty);
+      } else {
+        std::size_t k = j;
+        if (k >= 2 && is_p(t_[k - 1], "::") && is_id(t_[k - 2], "std"))
+          k -= 2;
+        if (k >= 2 && is_p(t_[k - 1], "=") &&
+            t_[k - 2].kind == TokKind::Identifier)
+          var_types.emplace(t_[k - 2].text, ty);
+      }
+    }
+
+    // Lambda body extents: accesses and calls inside them run deferred, so
+    // held-lock reasoning must not assume the enclosing function's entry
+    // context. A '[' opens a lambda when what precedes it cannot be an
+    // indexable expression (identifier, number, ']' or ')').
+    for (std::size_t j = begin + 1; j < end; ++j) {
+      if (!is_p(t_[j], "[")) continue;
+      const Token& prev = t_[j - 1];
+      const bool subscript =
+          (prev.kind == TokKind::Identifier && !is_expr_keyword(prev.text)) ||
+          prev.kind == TokKind::Number || is_p(prev, "]") || is_p(prev, ")");
+      if (subscript) continue;
+      const std::size_t close = find_matching(t_, j, "[", "]");
+      if (close >= end) continue;
+      std::size_t k = close + 1;
+      if (k < end && is_p(t_[k], "(")) k = find_matching(t_, k, "(", ")") + 1;
+      // Specifiers / trailing return type: bounded scan for the body '{'.
+      const std::size_t limit = std::min(end, k + 16);
+      while (k < limit && !is_p(t_[k], "{") && !is_p(t_[k], ";") &&
+             !is_p(t_[k], ")") && !is_p(t_[k], ","))
+        ++k;
+      if (k < limit && is_p(t_[k], "{"))
+        fn.lambdas.emplace_back(k, find_matching(t_, k, "{", "}"));
+    }
+    auto in_lambda = [&fn](std::size_t tok) {
+      for (const auto& [lb, le] : fn.lambdas)
+        if (tok > lb && tok < le) return true;
+      return false;
+    };
+
     // Scope stack for lock lifetimes.
     std::vector<std::size_t> scope_close;
     auto enclosing_close = [&](void) -> std::size_t {
       return scope_close.empty() ? end : scope_close.back();
     };
+
+    // Local vectors of RAII lock handles (per-shard lock vectors filled with
+    // emplace_back): name -> (shared mode, scope-end token).
+    std::map<std::string, std::pair<bool, std::size_t>> lock_containers;
 
     for (std::size_t j = begin + 1; j < end; ++j) {
       const Token& tok = t_[j];
@@ -456,6 +633,27 @@ class IndexBuilder {
         scope_close.pop_back();
       if (tok.kind != TokKind::Identifier) continue;
       const std::string& s = tok.text;
+
+      // Lock-vector declaration: `std::vector<std::unique_lock<M>> v;` (or
+      // shared_lock). Locks emplaced into it live until v's scope closes.
+      if (s == "vector" && j + 1 < end && is_p(t_[j + 1], "<")) {
+        const std::size_t close = find_matching(t_, j + 1, "<", ">");
+        bool vec_shared = false, is_lockvec = false;
+        for (std::size_t m = j + 2; m < close && m < end; ++m) {
+          if (is_id(t_[m], "shared_lock")) {
+            is_lockvec = true;
+            vec_shared = true;
+          }
+          if (is_id(t_[m], "unique_lock")) is_lockvec = true;
+        }
+        if (is_lockvec && close + 1 < end &&
+            t_[close + 1].kind == TokKind::Identifier) {
+          lock_containers[t_[close + 1].text] = {vec_shared,
+                                                 enclosing_close()};
+          j = close + 1;
+          continue;
+        }
+      }
 
       // Lock wrapper: lock_guard/unique_lock/shared_lock/scoped_lock.
       if (kLockWrappers.count(s) != 0) {
@@ -480,7 +678,7 @@ class IndexBuilder {
           }
           if (!(multi && s == "scoped_lock")) {
             record_lock(fn, var_types, k + 1, arg_end, tok.line, j,
-                        enclosing_close());
+                        enclosing_close(), s == "shared_lock");
           }
           j = args_close;
           continue;
@@ -496,7 +694,8 @@ class IndexBuilder {
         while (cb >= 2 && (is_p(t_[cb - 1], ".") || is_p(t_[cb - 1], "->")) &&
                t_[cb - 2].kind == TokKind::Identifier)
           cb -= 2;
-        record_lock(fn, var_types, cb, j - 1, tok.line, j, enclosing_close());
+        record_lock(fn, var_types, cb, j - 1, tok.line, j, enclosing_close(),
+                    s == "lock_shared");
         j += 2;
         continue;
       }
@@ -545,6 +744,8 @@ class IndexBuilder {
         c.name = s;
         c.line = tok.line;
         c.token = j;
+        c.scope_end = enclosing_close();
+        c.in_lambda = in_lambda(j);
         c.member_call = j >= 1 && (is_p(t_[j - 1], ".") || is_p(t_[j - 1], "->"));
         if (c.member_call) {
           std::string root;
@@ -579,9 +780,100 @@ class IndexBuilder {
             }
           }
         }
+        // Emplacing a mutex into a local lock vector is a lock acquisition
+        // whose lifetime is the vector's scope, not the statement's.
+        if ((s == "emplace_back" || s == "push_back") && c.member_call &&
+            !c.owner_root.empty()) {
+          if (const auto it = lock_containers.find(c.owner_root);
+              it != lock_containers.end() && args_close < end) {
+            record_lock(fn, var_types, j + 2, args_close, tok.line, j,
+                        it->second.second, it->second.first);
+          }
+        }
         fn.calls.push_back(std::move(c));
+        continue;
+      }
+
+      // Member-access chains (R10/R11): processed once, at the chain's
+      // first identifier. Later links are reached by the forward walk; a
+      // link preceded by '.', '->', '::' or '~' is never a chain root.
+      if (!called && !is_expr_keyword(s)) {
+        const Token& prev = t_[j - 1];
+        const bool chained = is_p(prev, ".") || is_p(prev, "->") ||
+                             is_p(prev, "::") || is_p(prev, "~");
+        const bool qualifier = j + 1 < end && is_p(t_[j + 1], "::");
+        if (!chained && !qualifier)
+          record_access(fn, var_types, j, end, in_lambda(j));
       }
     }
+  }
+
+  /// Parses the `a.b->c[i].d` chain starting at identifier `root_tok` and
+  /// records it as a MemberAccess. Resolution against the project member
+  /// tables happens in finalize(); chains rooted in an untyped local are
+  /// dropped there (under-approximate).
+  void record_access(FunctionInfo& fn,
+                     const std::map<std::string, std::string>& var_types,
+                     std::size_t root_tok, std::size_t end, bool lambda) {
+    std::vector<std::string> segs;
+    bool this_rooted = false;
+    std::size_t k = root_tok + 1;
+    if (t_[root_tok].text == "this") {
+      if (!(k + 1 < end && is_p(t_[k], "->") &&
+            t_[k + 1].kind == TokKind::Identifier))
+        return;
+      this_rooted = true;
+      segs.push_back(t_[k + 1].text);
+      k += 2;
+    } else {
+      segs.push_back(t_[root_tok].text);
+    }
+    bool method_call = false, mutator_call = false;
+    while (true) {
+      while (k < end && is_p(t_[k], "["))
+        k = find_matching(t_, k, "[", "]") + 1;
+      if (k + 1 < end && (is_p(t_[k], ".") || is_p(t_[k], "->")) &&
+          t_[k + 1].kind == TokKind::Identifier) {
+        if (k + 2 < end && is_p(t_[k + 2], "(")) {
+          method_call = true;
+          mutator_call = kMutatingMethods.count(t_[k + 1].text) != 0;
+          break;
+        }
+        segs.push_back(t_[k + 1].text);
+        k += 2;
+        continue;
+      }
+      break;
+    }
+    bool write = false;
+    if (method_call) {
+      write = mutator_call;
+    } else if (k < end) {
+      const Token& nx = t_[k];
+      write = is_p(nx, "=") || is_p(nx, "+=") || is_p(nx, "-=") ||
+              is_p(nx, "*=") || is_p(nx, "/=") || is_p(nx, "%=") ||
+              is_p(nx, "&=") || is_p(nx, "|=") || is_p(nx, "^=") ||
+              is_p(nx, "<<=") || is_p(nx, "++") || is_p(nx, "--");
+    }
+    if (!write && root_tok >= 1 &&
+        (is_p(t_[root_tok - 1], "++") || is_p(t_[root_tok - 1], "--")))
+      write = true;
+
+    MemberAccess a;
+    a.root = segs.front();
+    a.segments.assign(segs.begin() + 1, segs.end());
+    if (!this_rooted) {
+      if (const auto it = var_types.find(a.root); it != var_types.end()) {
+        if (a.segments.empty()) return;  // a bare local: not a member access
+        a.root_is_var = true;
+        a.root_type = it->second;
+      }
+    }
+    a.is_write = write;
+    a.in_lambda = lambda;
+    a.line = t_[root_tok].line;
+    a.token = root_tok;
+    fn.accesses.push_back(std::move(a));
   }
 
   /// Normalizes the mutex expression spanning [expr_begin, expr_end) to a
@@ -626,18 +918,53 @@ class IndexBuilder {
   }
 
   /// Records one lock acquisition whose mutex expression spans tokens
-  /// [expr_begin, expr_end).
+  /// [expr_begin, expr_end). Simple expressions (a bare member, or a
+  /// one-step chain through a typed local) resolve immediately via
+  /// lock_expr_id; longer or subscripted chains are stored with their
+  /// segment list and resolved through the project member tables in
+  /// finalize() — unresolvable ones are dropped there.
   void record_lock(FunctionInfo& fn,
                    const std::map<std::string, std::string>& var_types,
                    std::size_t expr_begin, std::size_t expr_end, int line,
-                   std::size_t site_tok, std::size_t scope_end) {
-    const std::string id = lock_expr_id(fn, var_types, expr_begin, expr_end);
-    if (id.empty()) return;
+                   std::size_t site_tok, std::size_t scope_end, bool shared) {
+    std::size_t b = expr_begin;
+    while (b < expr_end && (is_p(t_[b], "*") || is_p(t_[b], "&"))) ++b;
+    std::vector<std::string> segments;
+    bool subscript = false, ok = true;
+    for (std::size_t k = b; k < expr_end && ok; ++k) {
+      if (t_[k].kind == TokKind::Identifier) {
+        if (t_[k].text == "this" && segments.empty()) continue;
+        segments.push_back(t_[k].text);
+      } else if (is_p(t_[k], "[")) {
+        subscript = true;
+        k = find_matching(t_, k, "[", "]");
+        if (k >= expr_end) ok = false;
+      } else if (!is_p(t_[k], ".") && !is_p(t_[k], "->") &&
+                 !is_p(t_[k], "(") && !is_p(t_[k], ")") &&
+                 !is_p(t_[k], "*")) {
+        ok = false;
+      }
+    }
+    if (!ok || segments.empty()) return;
     LockSite ls;
-    ls.lock_id = id;
+    ls.shared = shared;
     ls.line = line;
     ls.token = site_tok;
     ls.scope_end = scope_end;
+    const bool simple =
+        segments.size() == 1 ||
+        (segments.size() == 2 && !subscript &&
+         var_types.count(segments.front()) != 0);
+    if (simple) {
+      ls.lock_id = lock_expr_id(fn, var_types, expr_begin, expr_end);
+      if (ls.lock_id.empty()) return;
+    } else {
+      ls.root = segments.front();
+      if (const auto it = var_types.find(ls.root); it != var_types.end())
+        ls.root_type = it->second;
+      ls.member = segments.back();
+      ls.segments.assign(segments.begin() + 1, segments.end() - 1);
+    }
     fn.locks.push_back(std::move(ls));
   }
 
@@ -699,6 +1026,73 @@ void ProjectIndex::finalize() {
       for (const std::string& id : ids)
         if (classes_.count(id) != 0) resolved = id;
       member_types_[cls][name] = resolved;
+    }
+  }
+
+  auto member_type_of = [this](const std::string& cls,
+                               const std::string& member) -> std::string {
+    const auto ci = member_types_.find(cls);
+    if (ci == member_types_.end()) return "";
+    const auto mi = ci->second.find(member);
+    return mi == ci->second.end() ? std::string() : mi->second;
+  };
+  auto has_member = [this](const std::string& cls, const std::string& member) {
+    const auto ci = member_type_ids_.find(cls);
+    return ci != member_type_ids_.end() && ci->second.count(member) != 0;
+  };
+
+  // Resolve deferred lock-site chains through the member tables
+  // (`c.shards_[k]->mu` becomes Shard::mu once Collection::shards_'s element
+  // type is known project-wide). Sites that do not resolve to a member of a
+  // project class are dropped — they were invisible before chain support
+  // existed, so dropping is the conservative status quo.
+  for (FunctionInfo& fn : functions_) {
+    auto& ls = fn.locks;
+    ls.erase(std::remove_if(
+                 ls.begin(), ls.end(),
+                 [&](LockSite& l) {
+                   if (l.member.empty()) return false;  // resolved in pass 1
+                   std::string type = l.root_type;
+                   if (type.empty()) {
+                     if (l.root.empty()) {
+                       type = fn.cls;
+                     } else if (has_member(fn.cls, l.root)) {
+                       type = member_type_of(fn.cls, l.root);
+                     } else {
+                       return true;
+                     }
+                   }
+                   for (const std::string& seg : l.segments) {
+                     if (!has_member(type, seg)) return true;
+                     type = member_type_of(type, seg);
+                   }
+                   if (type.empty() || type == "!" ||
+                       !has_member(type, l.member))
+                     return true;
+                   l.lock_id = type + "::" + l.member;
+                   return false;
+                 }),
+             ls.end());
+  }
+
+  // Merge guard contracts declared on any declaration of a function into
+  // every record of it: annotating the header declaration is enough.
+  {
+    std::map<std::string, std::vector<LockContract>> req, ret;
+    std::set<std::string> exempt_names;
+    for (const FunctionInfo& fn : functions_) {
+      for (const LockContract& c : fn.requires_locks)
+        req[fn.qualified].push_back(c);
+      for (const LockContract& c : fn.returns_locks)
+        ret[fn.qualified].push_back(c);
+      if (fn.guard_exempt) exempt_names.insert(fn.qualified);
+    }
+    for (FunctionInfo& fn : functions_) {
+      if (const auto it = req.find(fn.qualified); it != req.end())
+        fn.requires_locks = it->second;
+      if (const auto it = ret.find(fn.qualified); it != ret.end())
+        fn.returns_locks = it->second;
+      if (exempt_names.count(fn.qualified) != 0) fn.guard_exempt = true;
     }
   }
 
@@ -943,6 +1337,333 @@ void ProjectIndex::finalize() {
       }
     }
   }
+
+  // ---- Guard analysis (R10/R11) -------------------------------------------
+  guard_findings_.clear();
+
+  // Project mutex identities and whether each supports shared mode.
+  std::map<std::string, bool> mutex_shared;
+  for (const MutexMember& m : mutex_members_) {
+    auto [it, ins] = mutex_shared.emplace(m.cls + "::" + m.name, m.shared);
+    if (!ins) it->second = it->second || m.shared;
+  }
+
+  // Effective lock sites per function: body sites plus RAII handles
+  // obtained from returns-lock callees (those live until the call's
+  // enclosing scope closes).
+  std::vector<std::vector<LockSite>> eff_locks(functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    eff_locks[i] = functions_[i].locks;
+    if (!functions_[i].is_definition) continue;
+    for (const CallSite& c : functions_[i].calls) {
+      std::set<std::pair<std::string, bool>> got;
+      for (std::size_t k : candidates(functions_[i], c))
+        for (const LockContract& r : functions_[k].returns_locks)
+          got.emplace(r.lock_id, r.shared);
+      for (const auto& [id, sh] : got) {
+        LockSite ls;
+        ls.lock_id = id;
+        ls.shared = sh;
+        ls.line = c.line;
+        ls.token = c.token;
+        ls.scope_end = c.scope_end;
+        eff_locks[i].push_back(std::move(ls));
+      }
+    }
+  }
+
+  // Held sets: lock id -> held in exclusive mode. `top` marks "everything"
+  // (the greatest-fixpoint seed for functions whose entry context is still
+  // unconstrained).
+  struct Held {
+    bool top = false;
+    std::map<std::string, bool> ids;
+  };
+  const auto add_held = [](Held& h, const std::string& id, bool excl) {
+    auto [it, ins] = h.ids.emplace(id, excl);
+    if (!ins) it->second = it->second || excl;
+  };
+  const auto local_held = [&](std::size_t i, std::size_t tok) {
+    Held h;
+    for (const LockSite& l : eff_locks[i])
+      if (l.token < tok && tok < l.scope_end) add_held(h, l.lock_id, !l.shared);
+    return h;
+  };
+  const auto meet_into = [](Held& dst, const Held& src) {
+    if (src.top) return;
+    if (dst.top) {
+      dst = src;
+      return;
+    }
+    for (auto it = dst.ids.begin(); it != dst.ids.end();) {
+      const auto s = src.ids.find(it->first);
+      if (s == src.ids.end()) {
+        it = dst.ids.erase(it);
+      } else {
+        it->second = it->second && s->second;
+        ++it;
+      }
+    }
+  };
+
+  // Visible call sites per callee (over-approximate candidate binding).
+  std::vector<std::vector<std::pair<std::size_t, const CallSite*>>> incoming(
+      functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (!functions_[i].is_definition) continue;
+    for (const CallSite& c : functions_[i].calls)
+      for (std::size_t k : candidates(functions_[i], c))
+        incoming[k].push_back({i, &c});
+  }
+
+  // Exempt functions: constructors/destructors, explicit guard-ok bodies,
+  // and functions whose every visible call site sits inside an exempt
+  // function (single-threaded setup helpers). A call from a lambda body
+  // never propagates exemption — the lambda may run on a thread later.
+  std::vector<char> exempt(functions_.size(), 0);
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    const FunctionInfo& fn = functions_[i];
+    if (fn.guard_exempt || (!fn.cls.empty() && fn.base == fn.cls))
+      exempt[i] = 1;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      if (exempt[i] || incoming[i].empty()) continue;
+      bool all_exempt = true, any = false, from_lambda = false;
+      for (const auto& [caller, site] : incoming[i]) {
+        if (site->in_lambda) {
+          from_lambda = true;
+          break;
+        }
+        any = true;
+        if (!exempt[caller]) {
+          all_exempt = false;
+          break;
+        }
+      }
+      if (!from_lambda && any && all_exempt) {
+        exempt[i] = 1;
+        changed = true;
+      }
+    }
+  }
+
+  // Held-at-entry: the locks provably held at EVERY visible non-lambda call
+  // site from a non-exempt caller; greatest fixpoint over the call graph so
+  // contexts propagate through call chains. Functions with no such site
+  // assume nothing at entry.
+  const auto requires_of = [&](std::size_t i) {
+    Held h;
+    for (const LockContract& r : functions_[i].requires_locks)
+      add_held(h, r.lock_id, !r.shared);
+    return h;
+  };
+  std::vector<std::vector<std::pair<std::size_t, const CallSite*>>> counted(
+      functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (!functions_[i].is_definition || exempt[i]) continue;
+    for (const CallSite& c : functions_[i].calls) {
+      if (c.in_lambda) continue;
+      for (std::size_t k : candidates(functions_[i], c))
+        counted[k].push_back({i, &c});
+    }
+  }
+  std::vector<Held> entry(functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    entry[i].top = !counted[i].empty();
+  const auto full_held = [&](std::size_t i, std::size_t tok) {
+    Held h = local_held(i, tok);
+    if (entry[i].top) {
+      h.top = true;
+      return h;
+    }
+    for (const auto& [id, ex] : entry[i].ids) add_held(h, id, ex);
+    const Held req = requires_of(i);
+    for (const auto& [id, ex] : req.ids) add_held(h, id, ex);
+    return h;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t k = 0; k < functions_.size(); ++k) {
+      if (counted[k].empty()) continue;
+      Held nh;
+      nh.top = true;
+      for (const auto& [i, c] : counted[k]) meet_into(nh, full_held(i, c->token));
+      if (nh.top != entry[k].top || nh.ids != entry[k].ids) {
+        entry[k] = std::move(nh);
+        changed = true;
+      }
+    }
+  }
+
+  if (std::getenv("GPTC_LINT_DEBUG_GUARD") != nullptr) {
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      if (!functions_[i].is_definition) continue;
+      std::fprintf(stderr, "fn %s exempt=%d entry.top=%d entry={",
+                   functions_[i].qualified.c_str(), int(exempt[i]),
+                   int(entry[i].top));
+      for (const auto& [id, ex] : entry[i].ids)
+        std::fprintf(stderr, "%s%s ", id.c_str(), ex ? "!" : "~");
+      std::fprintf(stderr, "} counted=%zu\n", counted[i].size());
+    }
+  }
+
+  const auto guard_of = [&](const std::string& cls,
+                            const std::string& member) -> const std::string* {
+    const auto ci = guarded_by_.find(cls);
+    if (ci == guarded_by_.end()) return nullptr;
+    const auto mi = ci->second.find(member);
+    return mi == ci->second.end() ? nullptr : &mi->second;
+  };
+  const auto excluded_member = [&](const std::string& cls,
+                                   const std::string& member) {
+    const auto ci = member_type_ids_.find(cls);
+    if (ci == member_type_ids_.end()) return true;
+    const auto mi = ci->second.find(member);
+    if (mi == ci->second.end()) return true;
+    for (const std::string& id : mi->second)
+      if (guard_exempt_type_id(id)) return true;
+    return false;
+  };
+  const auto line_ok = [&](const std::string& path, int line) {
+    const auto it = guard_ok_.find(path);
+    return it != guard_ok_.end() && it->second.count(line) != 0;
+  };
+  std::set<std::tuple<std::string, int, std::string, std::string>> emitted;
+  const auto emit = [&](const std::string& path, int line, const char* rule,
+                        std::string msg) {
+    if (emitted.emplace(path, line, rule, msg).second)
+      guard_findings_.push_back({path, line, rule, std::move(msg)});
+  };
+
+  // Per-access checks (annotated members) and evidence collection for
+  // inference (unannotated ones). Accesses inside lambda bodies only trust
+  // locks whose scope textually contains them — the lambda runs later.
+  struct InferAcc {
+    Held held;
+    bool write = false;
+    std::string path;
+    int line = 0;
+  };
+  std::map<std::string, std::vector<InferAcc>> infer;
+  std::map<std::string, std::string> infer_cls;
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    const FunctionInfo& fn = functions_[i];
+    if (!fn.is_definition || exempt[i]) continue;
+    for (const MemberAccess& a : fn.accesses) {
+      std::vector<std::tuple<std::string, std::string, bool>> links;
+      std::string type;
+      if (a.root_is_var) {
+        type = a.root_type;
+      } else {
+        if (fn.cls.empty() || !has_member(fn.cls, a.root)) continue;
+        links.emplace_back(fn.cls, a.root, a.segments.empty() && a.is_write);
+        type = member_type_of(fn.cls, a.root);
+      }
+      for (std::size_t si = 0; si < a.segments.size(); ++si) {
+        if (type.empty() || type == "!" || !has_member(type, a.segments[si]))
+          break;
+        const bool last = si + 1 == a.segments.size();
+        links.emplace_back(type, a.segments[si], last && a.is_write);
+        type = member_type_of(type, a.segments[si]);
+      }
+      if (links.empty() || line_ok(fn.path, a.line)) continue;
+      const Held held =
+          a.in_lambda ? local_held(i, a.token) : full_held(i, a.token);
+      for (const auto& [cls, member, wr] : links) {
+        const std::string key = cls + "::" + member;
+        if (member_guard_ok_.count(key) != 0 || excluded_member(cls, member))
+          continue;
+        if (const std::string* g = guard_of(cls, member)) {
+          if (held.top) continue;
+          const auto hit = held.ids.find(*g);
+          if (hit == held.ids.end()) {
+            emit(fn.path, a.line, "R10",
+                 "'" + key + "' " + (wr ? "written" : "read") +
+                     " without holding its guard '" + *g + "' (in " +
+                     fn.qualified + ")");
+          } else if (wr && !hit->second) {
+            const auto ms = mutex_shared.find(*g);
+            if (ms != mutex_shared.end() && ms->second)
+              emit(fn.path, a.line, "R11",
+                   "'" + key + "' written while its guard '" + *g +
+                       "' is held only in shared mode (in " + fn.qualified +
+                       ")");
+          }
+        } else {
+          infer_cls.emplace(key, cls);
+          infer[key].push_back({held, wr, fn.path, a.line});
+        }
+      }
+    }
+  }
+
+  // Inference: an unannotated member whose every visible access holds the
+  // same project mutex is bound to it. By construction this can only add
+  // R11 evidence (a write where that mutex is held merely shared) — it can
+  // never invent an R10.
+  for (const auto& [key, accs] : infer) {
+    const std::string& cls = infer_cls[key];
+    Held inter = accs.front().held;
+    for (std::size_t n = 1; n < accs.size(); ++n) meet_into(inter, accs[n].held);
+    if (inter.top) continue;
+    std::string g;
+    const std::string own_prefix = cls + "::";
+    for (const auto& [id, ex] : inter.ids) {
+      if (mutex_shared.count(id) == 0) continue;
+      if (id.compare(0, own_prefix.size(), own_prefix) == 0) {
+        g = id;
+        break;
+      }
+      if (g.empty()) g = id;
+    }
+    if (g.empty() || !mutex_shared[g]) continue;
+    for (const InferAcc& acc : accs) {
+      if (!acc.write) continue;
+      const auto hit = acc.held.ids.find(g);
+      if (hit != acc.held.ids.end() && !hit->second)
+        emit(acc.path, acc.line, "R11",
+             "'" + key + "' written while '" + g +
+                 "' (its inferred guard) is held only in shared mode");
+    }
+  }
+
+  // Calls into requires-lock functions: the contract must hold at the call
+  // site. Calls from lambda bodies are skipped (deferred execution).
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    const FunctionInfo& fn = functions_[i];
+    if (!fn.is_definition || exempt[i]) continue;
+    for (const CallSite& c : fn.calls) {
+      if (c.in_lambda) continue;
+      std::set<std::pair<std::string, bool>> contracts;
+      for (std::size_t k : candidates(fn, c))
+        for (const LockContract& r : functions_[k].requires_locks)
+          contracts.emplace(r.lock_id, r.shared);
+      if (contracts.empty() || line_ok(fn.path, c.line)) continue;
+      const Held held = full_held(i, c.token);
+      if (held.top) continue;
+      for (const auto& [id, shared_ok] : contracts) {
+        const auto hit = held.ids.find(id);
+        if (hit == held.ids.end()) {
+          emit(fn.path, c.line, "R10",
+               "call to '" + c.name + "' requires '" + id +
+                   "' which is not held (in " + fn.qualified + ")");
+        } else if (!shared_ok && !hit->second) {
+          emit(fn.path, c.line, "R11",
+               "call to '" + c.name + "' requires '" + id +
+                   "' in exclusive mode but it is held only shared (in " +
+                   fn.qualified + ")");
+        }
+      }
+    }
+  }
+
+  std::sort(guard_findings_.begin(), guard_findings_.end(),
+            [](const GuardFinding& x, const GuardFinding& y) {
+              return std::tie(x.path, x.line, x.rule, x.message) <
+                     std::tie(y.path, y.line, y.rule, y.message);
+            });
 }
 
 }  // namespace gptc::lint

@@ -27,9 +27,14 @@
 // durability call, which locks a call transitively acquires, and the
 // acquires-while-holding edge set (lock A held when lock B is taken, either
 // directly in one scope or through a call made inside A's scope) that R7's
-// cycle detection runs on. Everything here is the same token-level
-// heuristic discipline as the per-file rules: over-approximate in the gray
-// zone, escape-hatch comments for the rare legitimate exception.
+// cycle detection runs on. It also runs the guarded-by analysis (R10/R11):
+// member read/write sites are checked against interprocedurally propagated
+// held-lock sets — locks held at every visible call site flow into the
+// callee, requires-lock annotations state contracts at the boundary, and
+// shared_mutex acquisitions carry their mode so a write under only a shared
+// lock is flagged. Everything here is the same token-level heuristic
+// discipline as the per-file rules: over-approximate in the gray zone,
+// escape-hatch comments for the rare legitimate exception.
 #pragma once
 
 #include <cstddef>
@@ -59,14 +64,56 @@ struct MutexMember {
   std::string name;
   std::string path;
   int line = 0;
+  bool shared = false;  // shared_mutex / shared_timed_mutex (R11 cares)
 };
 
 /// One lock acquisition inside a function body, in source order.
 struct LockSite {
   std::string lock_id;     // normalized "Class::member" or "file::name"
+  bool shared = false;     // shared_lock / lock_shared: read mode only
   int line = 0;
   std::size_t token = 0;       // index into the file's token stream
   std::size_t scope_end = 0;   // token index of the enclosing scope's '}'
+  /// Deferred owner chain for mutex expressions pass 1 cannot resolve from
+  /// locals alone (subscripted member chains like a shard picked out of a
+  /// container). finalize() walks the chain through the project-wide member
+  /// tables; sites that still do not resolve are dropped. `member` empty
+  /// means lock_id was resolved definitively during pass 1.
+  std::string root;                   // first chain segment ("" = this)
+  std::string root_type;              // from params/locals; "" = unknown
+  std::vector<std::string> segments;  // chain between root and the mutex
+  std::string member;                 // final mutex member name
+};
+
+/// One member-access chain inside a function body — the read/write sites the
+/// guarded-by analysis (R10/R11) checks against held-lock sets. The chain is
+/// resolved against the project-wide member tables in finalize(); links that
+/// do not resolve to a known class member are dropped (under-approximate).
+struct MemberAccess {
+  std::string root;        // first chain identifier ("" = implicit this)
+  std::string root_type;   // from params/locals when the root is a variable
+  bool root_is_var = false;           // root names a local/param, not a member
+  std::vector<std::string> segments;  // chain after the root, incl. the last
+  bool is_write = false;   // the FINAL link is written (assign/incr/mutator)
+  bool in_lambda = false;  // inside a lambda body: execution is deferred
+  int line = 0;
+  std::size_t token = 0;
+};
+
+/// A lock a function requires (held on entry) or returns (RAII handles whose
+/// lifetime is the caller's scope), from requires-lock / returns-lock
+/// annotation comments.
+struct LockContract {
+  std::string lock_id;  // normalized "Class::member"
+  bool shared = false;  // contract is satisfied by shared mode
+};
+
+/// One R10/R11 finding computed by the guard analysis in finalize().
+struct GuardFinding {
+  std::string path;
+  int line = 0;
+  std::string rule;  // "R10" or "R11"
+  std::string message;
 };
 
 /// One call expression inside a function body. For member calls the owner
@@ -86,6 +133,8 @@ struct CallSite {
   std::vector<std::string> arg_lock_ids;
   int line = 0;
   std::size_t token = 0;
+  std::size_t scope_end = 0;  // enclosing scope's '}' (returns-lock lifetime)
+  bool in_lambda = false;     // inside a lambda body: execution is deferred
 };
 
 /// A file-creating or renaming operation (R8's durability triggers).
@@ -123,6 +172,16 @@ struct FunctionInfo {
   std::vector<CallSite> calls;
   std::vector<CreateSite> creates;
   std::vector<TryRange> tries;
+  std::vector<MemberAccess> accesses;
+  std::vector<LockContract> requires_locks;  // requires-lock annotations
+  std::vector<LockContract> returns_locks;   // returns-lock annotations
+  /// Function-level guard-ok annotation: the whole body is exempt from the
+  /// guard analysis (single-threaded setup/recovery paths).
+  bool guard_exempt = false;
+  /// Lambda body token extents inside this definition: accesses and calls in
+  /// them run deferred, so held-lock reasoning is restricted to locks whose
+  /// scope textually contains the site.
+  std::vector<std::pair<std::size_t, std::size_t>> lambdas;
 };
 
 /// One acquires-while-holding edge witness for R7.
@@ -194,6 +253,11 @@ class ProjectIndex {
   /// Lock ids (transitively) acquired by functions with this base name.
   std::set<std::string> locks_of(const std::string& base) const;
 
+  /// R10/R11 findings from the guard analysis, computed in finalize().
+  const std::vector<GuardFinding>& guard_findings() const {
+    return guard_findings_;
+  }
+
  private:
   friend class IndexBuilder;
 
@@ -211,6 +275,15 @@ class ProjectIndex {
   std::map<std::string, std::map<std::string, std::string>> member_types_;
   /// path -> lines carrying a `// lint: lock-order-ok` directive.
   std::map<std::string, std::set<int>> lock_order_ok_;
+  /// path -> lines covered by a guard-ok annotation (line + line-after, like
+  /// every other escape comment).
+  std::map<std::string, std::set<int>> guard_ok_;
+  /// class -> member -> normalized guard lock id, from guarded-by
+  /// annotations on member declarations.
+  std::map<std::string, std::map<std::string, std::string>> guarded_by_;
+  /// "Class::member" keys whose declaration carries a guard-ok escape: the
+  /// member is exempt from the guard analysis entirely.
+  std::set<std::string> member_guard_ok_;
 
   // Derived in finalize():
   std::map<std::string, std::vector<std::size_t>> by_base_;
@@ -220,6 +293,7 @@ class ProjectIndex {
   std::map<std::pair<std::string, std::string>,
            std::vector<LockEdgeWitness>>
       lock_edges_;
+  std::vector<GuardFinding> guard_findings_;
 };
 
 }  // namespace gptc::lint

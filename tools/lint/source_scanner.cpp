@@ -49,12 +49,44 @@ void parse_directive(std::string_view body, int line,
   out.push_back(std::move(d));
 }
 
-/// Scans a comment's text for a lint directive.
-void check_comment(std::string_view comment, int line,
+/// Guard-annotation comments recognized without the `lint:` prefix. The tag
+/// (with its colon) marks the start; everything after it is the directive's
+/// reason — for the lock-naming forms, the first word of the reason is the
+/// lock expression.
+constexpr std::string_view kGuardTags[] = {
+    "guarded_by:", "requires_lock:", "returns_lock:", "guard-ok:"};
+
+/// Scans a comment's text for a lint directive. `own_line` records whether
+/// the comment starts its own source line (see Directive::own_line).
+void check_comment(std::string_view comment, int line, bool own_line,
                    std::vector<Directive>& out) {
   const std::size_t pos = comment.find("lint:");
-  if (pos == std::string_view::npos) return;
-  parse_directive(comment.substr(pos + 5), line, out);
+  if (pos != std::string_view::npos) {
+    const std::size_t before = out.size();
+    parse_directive(comment.substr(pos + 5), line, out);
+    for (std::size_t i = before; i < out.size(); ++i)
+      out[i].own_line = own_line;
+    return;
+  }
+  for (const std::string_view tag : kGuardTags) {
+    const std::size_t p = comment.find(tag);
+    if (p == std::string_view::npos) continue;
+    Directive d;
+    d.name = std::string(tag.substr(0, tag.size() - 1));
+    std::string_view rest = comment.substr(p + tag.size());
+    std::size_t b = 0;
+    while (b < rest.size() && std::isspace(static_cast<unsigned char>(rest[b])))
+      ++b;
+    std::size_t e = rest.size();
+    while (e > b && (std::isspace(static_cast<unsigned char>(rest[e - 1])) ||
+                     rest[e - 1] == '/' || rest[e - 1] == '*'))
+      --e;
+    d.reason = std::string(rest.substr(b, e - b));
+    d.line = line;
+    d.own_line = own_line;
+    out.push_back(std::move(d));
+    return;
+  }
 }
 
 class Scanner {
@@ -133,9 +165,10 @@ class Scanner {
 
   void skip_line_comment() {
     const int start_line = line_;
+    const bool own_line = at_line_start_;
     std::size_t begin = pos_;
     while (pos_ < text_.size() && cur() != '\n') advance();
-    check_comment(text_.substr(begin, pos_ - begin), start_line,
+    check_comment(text_.substr(begin, pos_ - begin), start_line, own_line,
                   file_.directives);
     // Note: the newline itself is consumed by the main loop; at_line_start_
     // tracking only matters for '#', which cannot follow a comment-only line
@@ -145,6 +178,7 @@ class Scanner {
 
   void skip_block_comment() {
     const int start_line = line_;
+    const bool own_line = at_line_start_;
     std::size_t begin = pos_;
     advance();  // '/'
     advance();  // '*'
@@ -153,7 +187,7 @@ class Scanner {
       advance();  // '*'
       advance();  // '/'
     }
-    check_comment(text_.substr(begin, pos_ - begin), start_line,
+    check_comment(text_.substr(begin, pos_ - begin), start_line, own_line,
                   file_.directives);
   }
 

@@ -41,6 +41,13 @@ struct Directive {
   std::string name;    // e.g. "unordered-ok"
   std::string reason;  // free text after the name (may be empty)
   int line = 0;
+  /// True when the comment carrying the directive starts its own line
+  /// (only whitespace before it). Guard annotations use this to decide
+  /// whether a directive may apply to the NEXT line: a comment-above
+  /// annotation does, a trailing comment binds to its own line only —
+  /// otherwise an annotation trailing one member declaration would bleed
+  /// into the member declared on the line below.
+  bool own_line = false;
 };
 
 struct ScannedFile {
