@@ -15,11 +15,15 @@
 //
 //   bench_server [--seconds S] [--connections N] [--workers W]
 //                [--mode write|read|mixed] [--batch B] [--rate R]
-//                [--shards K] [--dir PATH] [--smoke]
+//                [--shards K] [--dir PATH] [--smoke] [--json]
 //
 // Prints ops/s, records/s, and p50/p90/p99 latency per op class.
-// --smoke exits nonzero when any request errored or throughput was zero —
-// CI runs a short smoke against the sanitizer build.
+// --json instead emits one machine-readable JSON object on stdout (config,
+// elapsed time, per-class ops/records/errors/throughput/percentiles) for
+// baseline tracking (BENCH_read_path.json) and CI comparisons; the human
+// banner moves to stderr. --smoke exits nonzero when any request errored
+// or throughput was zero — CI runs a short smoke against the sanitizer
+// build.
 //
 // This is a benchmark harness, not library code: it lives outside the
 // lint perimeter and uses wall clocks and OS randomness freely.
@@ -54,6 +58,7 @@ struct Args {
   std::size_t shards = 0;  // per-collection WAL/snapshot shards; 0 = keep
   std::string dir;
   bool smoke = false;
+  bool json = false;  // one machine-readable result object on stdout
 };
 
 Args parse_args(int argc, char** argv) {
@@ -76,6 +81,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--shards") a.shards = std::stoul(next());
     else if (arg == "--dir") a.dir = next();
     else if (arg == "--smoke") a.smoke = true;
+    else if (arg == "--json") a.json = true;
     else {
       std::fprintf(stderr, "bench_server: unknown arg %s\n", arg.c_str());
       std::exit(2);
@@ -120,26 +126,56 @@ double percentile(std::vector<double>& v, double p) {
   return v[idx];
 }
 
-void report(const char* label, std::vector<ThreadResult>& results,
-            double elapsed_s) {
+/// One op class (write / read) aggregated across its worker threads.
+struct ClassStats {
+  std::uint64_t ops = 0;
+  std::uint64_t records = 0;
+  std::uint64_t errors = 0;
+  double ops_per_s = 0.0;
+  double records_per_s = 0.0;
+  double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0;
+  bool any() const { return ops != 0 || errors != 0; }
+};
+
+ClassStats summarize(std::vector<ThreadResult>& results, double elapsed_s) {
   std::vector<double> lat;
-  std::uint64_t ops = 0, records = 0, errors = 0;
+  ClassStats s;
   for (ThreadResult& r : results) {
     lat.insert(lat.end(), r.latencies_us.begin(), r.latencies_us.end());
-    ops += r.ops;
-    records += r.records;
-    errors += r.errors;
+    s.ops += r.ops;
+    s.records += r.records;
+    s.errors += r.errors;
   }
-  if (ops == 0 && errors == 0) return;
+  s.ops_per_s = static_cast<double>(s.ops) / elapsed_s;
+  s.records_per_s = static_cast<double>(s.records) / elapsed_s;
+  s.p50_us = percentile(lat, 0.50);
+  s.p90_us = percentile(lat, 0.90);
+  s.p99_us = percentile(lat, 0.99);
+  return s;
+}
+
+void report(const char* label, const ClassStats& s) {
+  if (!s.any()) return;
   std::printf(
       "%-6s ops=%llu records=%llu errors=%llu throughput=%.0f ops/s "
       "records/s=%.0f p50=%.0fus p90=%.0fus p99=%.0fus\n",
-      label, static_cast<unsigned long long>(ops),
-      static_cast<unsigned long long>(records),
-      static_cast<unsigned long long>(errors),
-      static_cast<double>(ops) / elapsed_s,
-      static_cast<double>(records) / elapsed_s, percentile(lat, 0.50),
-      percentile(lat, 0.90), percentile(lat, 0.99));
+      label, static_cast<unsigned long long>(s.ops),
+      static_cast<unsigned long long>(s.records),
+      static_cast<unsigned long long>(s.errors), s.ops_per_s, s.records_per_s,
+      s.p50_us, s.p90_us, s.p99_us);
+}
+
+json::Json class_json(const ClassStats& s) {
+  json::Json j = json::Json::object();
+  j["ops"] = static_cast<std::int64_t>(s.ops);
+  j["records"] = static_cast<std::int64_t>(s.records);
+  j["errors"] = static_cast<std::int64_t>(s.errors);
+  j["ops_per_s"] = s.ops_per_s;
+  j["records_per_s"] = s.records_per_s;
+  j["p50_us"] = s.p50_us;
+  j["p90_us"] = s.p90_us;
+  j["p99_us"] = s.p99_us;
+  return j;
 }
 
 }  // namespace
@@ -185,7 +221,9 @@ int main(int argc, char** argv) {
   so.max_connections = args.connections + 8;
   net::CrowdServer server(repo, so);
   server.start();
-  std::printf(
+  // In --json mode stdout carries only the result object.
+  std::fprintf(
+      args.json ? stderr : stdout,
       "bench_server: port=%u mode=%s connections=%zu workers=%zu batch=%zu "
       "rate=%.0f shards=%zu seconds=%.1f\n",
       server.port(), args.mode.c_str(), args.connections, args.workers,
@@ -271,16 +309,33 @@ int main(int argc, char** argv) {
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
-  report("write", write_results, elapsed_s);
-  report("read", read_results, elapsed_s);
-
-  std::uint64_t total_ops = 0, total_errors = 0;
-  for (const auto* results : {&write_results, &read_results}) {
-    for (const ThreadResult& r : *results) {
-      total_ops += r.ops;
-      total_errors += r.errors;
-    }
+  const ClassStats write_stats = summarize(write_results, elapsed_s);
+  const ClassStats read_stats = summarize(read_results, elapsed_s);
+  if (args.json) {
+    json::Json config = json::Json::object();
+    config["mode"] = args.mode;
+    config["seconds"] = args.seconds;
+    config["connections"] = static_cast<std::int64_t>(args.connections);
+    config["workers"] = static_cast<std::int64_t>(args.workers);
+    config["batch"] = static_cast<std::int64_t>(args.batch);
+    config["rate"] = args.rate;
+    config["shards"] = static_cast<std::int64_t>(args.shards);
+    json::Json classes = json::Json::object();
+    if (write_stats.any()) classes["write"] = class_json(write_stats);
+    if (read_stats.any()) classes["read"] = class_json(read_stats);
+    json::Json out = json::Json::object();
+    out["benchmark"] = "bench_server";
+    out["config"] = std::move(config);
+    out["elapsed_s"] = elapsed_s;
+    out["classes"] = std::move(classes);
+    std::printf("%s\n", out.dump(2).c_str());
+  } else {
+    report("write", write_stats);
+    report("read", read_stats);
   }
+
+  const std::uint64_t total_ops = write_stats.ops + read_stats.ops;
+  const std::uint64_t total_errors = write_stats.errors + read_stats.errors;
 
   server.stop();
   repo.sync();
@@ -293,6 +348,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(total_errors));
     return 1;
   }
-  if (args.smoke) std::printf("bench_server: smoke ok\n");
+  if (args.smoke) {
+    std::fprintf(args.json ? stderr : stdout, "bench_server: smoke ok\n");
+  }
   return 0;
 }

@@ -3,7 +3,10 @@
 // at 10^3..10^6 records, and WAL append latency with and without group
 // commit (fsync batching).
 //
-//   $ ./bench_store [--benchmark_filter=...]
+//   $ ./bench_store [--benchmark_filter=...] [--json]
+//
+// --json is shorthand for --benchmark_format=json (machine-readable
+// results on stdout, same flag spelling as bench_server --json).
 //
 // The ISSUE acceptance bar: an indexed $eq at 1e5 records must beat the
 // scan by >= 10x — compare BM_QueryIndexed/100000 vs BM_QueryScan/100000.
@@ -13,6 +16,8 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "db/document_store.hpp"
 #include "db/engine/engine.hpp"
@@ -196,4 +201,20 @@ BENCHMARK(BM_ParallelRecovery)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a --json alias so both bench binaries speak the
+// same flag for machine-readable output.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char json_flag[] = "--benchmark_format=json";
+  for (char*& arg : args) {
+    if (std::string_view(arg) == "--json") arg = json_flag;
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

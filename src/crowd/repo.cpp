@@ -276,6 +276,24 @@ json::Json SharedRepo::build_record(const std::string& user,
   return record;
 }
 
+Json SharedRepo::parameter_names(const std::vector<Json>& records,
+                                 const char* field) {
+  std::vector<std::string> names;
+  for (const auto& r : records) {
+    const Json* params = db::lookup_path(r, field);
+    if (!params || !params->is_object()) continue;
+    for (const auto& [name, v] : params->as_object()) {
+      (void)v;
+      if (std::find(names.begin(), names.end(), name) == names.end())
+        names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  Json out = Json::array();
+  for (auto& n : names) out.push_back(std::move(n));
+  return out;
+}
+
 std::map<std::string, std::vector<Json>> SharedRepo::missing_catalog_docs(
     const std::string& user, const std::string& problem_name,
     const std::vector<Json>& records) const {
@@ -289,6 +307,13 @@ std::map<std::string, std::vector<Json>> SharedRepo::missing_catalog_docs(
     Json doc = Json::object();
     doc["name"] = problem_name;
     doc["first_user"] = user;
+    // Union of parameter names across the batch. These drive the
+    // per-problem path indexes ("tuning_parameters.<p>", ...) the query
+    // planner ranges over, and persisting them in the descriptor lets
+    // declare_default_indexes() re-declare the indexes on reopen (index
+    // definitions themselves are in-memory only).
+    doc["task_parameters"] = parameter_names(records, "task_parameters");
+    doc["tuning_parameters"] = parameter_names(records, "tuning_parameters");
     docs["problems"].push_back(std::move(doc));
   }
   std::vector<std::string> seen;
@@ -347,11 +372,30 @@ SharedRepo::UploadReceipt SharedRepo::upload_records(
   // probe and double-insert the descriptor.
   std::lock_guard<std::mutex> lock(*catalog_mu_);
   auto docs = missing_catalog_docs(user, problem_name, records);  // re-probe
+  // A new problem descriptor carries the parameter names: declare their
+  // path indexes (after the commit, outside the insert's shard locks) so
+  // this problem's queries plan against them from the first record on.
+  std::vector<std::string> new_index_paths;
+  const auto pit = docs.find("problems");
+  if (pit != docs.end())
+    for (const auto& pdoc : pit->second) collect_index_paths(pdoc, new_index_paths);
   docs["func_eval"] = std::move(records);
   auto result = store_.insert_atomic(std::move(docs));
+  for (const auto& path : new_index_paths)
+    store_.collection("func_eval").create_index(path);
   const std::uint64_t seq = result.ticket.seq;
   return UploadReceipt{std::move(result.ids["func_eval"]),
                        std::move(result.ticket), seq};
+}
+
+void SharedRepo::collect_index_paths(const Json& problem_doc,
+                                     std::vector<std::string>& out) {
+  for (const char* field : {"task_parameters", "tuning_parameters"}) {
+    const Json* names = db::lookup_path(problem_doc, field);
+    if (!names || !names->is_array()) continue;  // pre-existing descriptors
+    for (const auto& n : names->as_array())
+      if (n.is_string()) out.push_back(std::string(field) + "." + n.as_string());
+  }
 }
 
 void SharedRepo::wait_uploads_durable(const UploadReceipt& receipt) {
@@ -361,13 +405,32 @@ void SharedRepo::wait_uploads_durable(const UploadReceipt& receipt) {
 
 bool SharedRepo::record_visible(const Json& record,
                                 const std::string& username) const {
-  const Accessibility acc =
-      Accessibility::from_json(record.get_or("accessibility", Json("public")));
-  if (acc.level == Accessibility::Level::Public) return true;
-  if (record.get_or("user", Json("")).as_string() == username) return true;
-  if (acc.level == Accessibility::Level::Shared)
-    return std::find(acc.shared_with.begin(), acc.shared_with.end(),
-                     username) != acc.shared_with.end();
+  // Runs per candidate inside the collection's shared lock on every crowd
+  // query, so it walks the record in place: no get_or subtree copies and
+  // no Accessibility materialization. Missing/null accessibility means
+  // public; a string is "private" or public; an object is Shared exactly
+  // when it carries "shared_with" — the same reading as
+  // Accessibility::from_json.
+  const Json* acc = db::lookup_path(record, "accessibility");
+  const Json* shared = nullptr;
+  bool is_private = false;
+  if (acc && !acc->is_null()) {
+    if (acc->is_string()) {
+      is_private = acc->as_string() == "private";
+    } else if (acc->is_object() && acc->contains("shared_with")) {
+      shared = &acc->at("shared_with");
+    }
+  }
+  if (!is_private && !shared) return true;  // public
+  const Json* user = db::lookup_path(record, "user");
+  const std::string_view owner = (user && !user->is_null())
+                                     ? std::string_view(user->as_string())
+                                     : std::string_view();
+  if (owner == username) return true;
+  if (shared) {
+    for (const auto& u : shared->as_array())
+      if (u.as_string() == username) return true;
+  }
   return false;
 }
 
@@ -480,12 +543,41 @@ std::vector<Json> SharedRepo::query_where(const std::string& api_key,
   const auto* evals = store_.find_collection("func_eval");
   std::vector<Json> out;
   if (!evals) return out;
+  // The WHERE condition goes INTO the planned query rather than running as
+  // a post-predicate: the planner then sees every conjunct, so an indexed
+  // tuning/task parameter narrows the candidate set below the whole
+  // problem partition. Wrapping in $and keeps the merge collision-free
+  // (the clause may itself constrain "problem") with an identical match
+  // set, so results stay byte-for-byte those of the post-filter form.
+  out = evals->find_filtered(planned_where(problem_name, condition),
+                             [&](const Json& record) {
+                               return record_visible(record, user);
+                             });
+  return out;
+}
+
+Json SharedRepo::planned_where(const std::string& problem_name,
+                               const Json& condition) {
   Json q = Json::object();
   q["problem"] = problem_name;
-  out = evals->find_filtered(q, [&](const Json& record) {
-    return record_visible(record, user) && db::matches(record, condition);
-  });
-  return out;
+  q["$and"] = Json::array({condition});
+  return q;
+}
+
+Json SharedRepo::explain_where(const std::string& api_key,
+                               const std::string& problem_name,
+                               std::string_view where_clause) const {
+  require_user(api_key);  // same authentication as the query itself
+  const Json condition = parse_where_clause(where_clause);
+  const Json q = planned_where(problem_name, condition);
+  const auto* evals = store_.find_collection("func_eval");
+  if (!evals) {
+    Json out = Json::object();
+    out["query"] = q;
+    out["shards"] = Json::array();
+    return out;
+  }
+  return evals->explain(q);
 }
 
 std::size_t SharedRepo::num_records(const std::string& problem_name) const {
@@ -640,6 +732,18 @@ void SharedRepo::declare_default_indexes() {
   // with the index the probe is answered from posting lists alone.
   store_.collection("problems").create_index("name");
   store_.collection("machine_catalog").create_index("machine_name");
+  // Per-problem parameter indexes, re-declared from the persisted problem
+  // descriptors (index definitions are in-memory only). Paths are collected
+  // first: create_index takes func_eval's shard writer locks and must not
+  // run inside for_each's reader locks on `problems`.
+  const auto* problems = store_.find_collection("problems");
+  if (!problems) return;
+  std::vector<std::string> paths;
+  problems->for_each([&](const Json& doc) {
+    collect_index_paths(doc, paths);
+    return true;
+  });
+  for (const auto& path : paths) evals.create_index(path);
 }
 
 void SharedRepo::declare_task_parameter_index(

@@ -144,6 +144,16 @@ class SharedRepo {
                                       const std::string& problem_name,
                                       std::string_view where_clause) const;
 
+  /// Query-plan introspection for a WHERE clause: parses and plans exactly
+  /// the query query_where() would run and returns Collection::explain()'s
+  /// report (per shard: index scan or full scan, every considered index
+  /// with its selectivity estimate, which were applied, candidate counts).
+  /// Requires the same authentication; throws QueryParseError on bad
+  /// syntax.
+  json::Json explain_where(const std::string& api_key,
+                           const std::string& problem_name,
+                           std::string_view where_clause) const;
+
   /// Total records for a problem (any visibility) — diagnostics.
   std::size_t num_records(const std::string& problem_name) const;
 
@@ -192,9 +202,13 @@ class SharedRepo {
                                  db::engine::EngineOptions options = {});
 
   /// Declares the ordered secondary indexes the crowd queries are planned
-  /// against: func_eval.problem (the partition key of every repo query) and
-  /// func_eval."machine_configuration.machine_name". Idempotent; indexing
-  /// never changes query results, only how candidates are found.
+  /// against: func_eval.problem (the partition key of every repo query),
+  /// func_eval."machine_configuration.machine_name", and — from the
+  /// parameter names persisted in each problems-catalog descriptor — the
+  /// per-problem "task_parameters.<p>" / "tuning_parameters.<p>" path
+  /// indexes that let WHERE clauses narrow below the problem partition.
+  /// Idempotent; indexing never changes query results, only how candidates
+  /// are found.
   void declare_default_indexes();
 
   /// Declares an index on one task parameter ("task_parameters.<name>") for
@@ -229,6 +243,19 @@ class SharedRepo {
   UploadReceipt upload_records(const std::string& user,
                                const std::string& problem_name,
                                std::vector<json::Json> records);
+  /// The query find_filtered actually plans for a WHERE clause:
+  /// {"problem": name, "$and": [condition]} — collision-free merge with an
+  /// identical match set, and the planner sees the clause's conjuncts.
+  static json::Json planned_where(const std::string& problem_name,
+                                  const json::Json& condition);
+  /// Sorted union of parameter names ({"task"|"tuning"}_parameters object
+  /// keys) across an upload batch, as stored in the problem descriptor.
+  static json::Json parameter_names(const std::vector<json::Json>& records,
+                                    const char* field);
+  /// Appends the "task_parameters.<p>" / "tuning_parameters.<p>" index
+  /// paths a problem descriptor declares.
+  static void collect_index_paths(const json::Json& problem_doc,
+                                  std::vector<std::string>& out);
 
   /// First-seen problem/machine catalog descriptors for one upload are
   /// detected and inserted atomically; this serializes the detect-and-

@@ -1,11 +1,12 @@
 #include "db/document_store.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+
+#include "db/query/planner.hpp"
 
 namespace gptc::db {
 
@@ -65,18 +66,6 @@ bool is_operator_object(const Json& j) {
   return true;
 }
 
-/// A non-empty all-digit segment is an array index; anything longer than
-/// any realistic array is rejected before it can overflow.
-std::optional<std::size_t> parse_array_index(const std::string& key) {
-  if (key.empty() || key.size() > 9) return std::nullopt;
-  std::size_t idx = 0;
-  for (char c : key) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
-    idx = idx * 10 + static_cast<std::size_t>(c - '0');
-  }
-  return idx;
-}
-
 /// Atomic max fold for the id counter: shard recovery tasks (and
 /// restore_shard) run in parallel, each pushing the counter past the ids it
 /// has seen.
@@ -102,23 +91,7 @@ std::vector<std::shared_lock<std::shared_mutex>> lock_shared_all(
 }  // namespace
 
 const Json* lookup_path(const Json& document, const std::string& path) {
-  const Json* cur = &document;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t dot = path.find('.', start);
-    const std::string key = path.substr(start, dot - start);
-    if (cur->is_object() && cur->contains(key)) {
-      cur = &cur->at(key);
-    } else if (cur->is_array()) {
-      const auto idx = parse_array_index(key);
-      if (!idx || *idx >= cur->size()) return nullptr;
-      cur = &cur->at(*idx);
-    } else {
-      return nullptr;
-    }
-    if (dot == std::string::npos) return cur;
-    start = dot + 1;
-  }
+  return query::lookup(document, std::string_view(path));
 }
 
 bool matches(const Json& document, const Json& query) {
@@ -339,20 +312,6 @@ engine::CommitTicket Collection::commit_multi(
   return ticket;
 }
 
-std::optional<std::vector<std::int64_t>> Collection::plan(
-    const Shard& s, const Json& query) const {
-  if (s.indexes.empty() || !query.is_object()) return std::nullopt;
-  for (const auto& [key, condition] : query.as_object()) {
-    if (!key.empty() && key[0] == '$') continue;  // $and/$or/$not: scan
-    const auto it = s.indexes.find(key);
-    if (it == s.indexes.end()) continue;
-    // Top-level fields are conjunctive, so one field's candidates are a
-    // superset of the query's matches; the full predicate re-filters below.
-    if (auto ids = it->second.candidates(condition)) return ids;
-  }
-  return std::nullopt;
-}
-
 const engine::OrderedIndex* Collection::exact_index(
     const Shard& s, const Json& query, const Json** condition) const {
   // Exactness needs the whole query to BE the one indexed condition: with a
@@ -402,23 +361,27 @@ std::vector<Json> Collection::find(const Json& query) const {
 
 std::vector<Json> Collection::find_filtered(
     const Json& query, const std::function<bool(const Json&)>& pred) const {
+  // Compile once per query, not per record; the same program plans and
+  // re-checks every shard.
+  const auto cq = query::CompiledQuery::compile(query);
   const auto locks = lock_shared_all(shards_);
   std::vector<std::vector<Json>> parts;
   parts.reserve(shards_.size());
   for (const auto& sp : shards_) {
     const Shard& s = *sp;
     std::vector<Json> part;
-    if (const auto ids = plan(s, query)) {
+    const auto plan = query::plan_shard(s.indexes, cq);
+    if (plan.index_scan) {
       // Ids ascend in insertion order, so each part matches a shard scan.
-      for (const std::int64_t id : *ids) {
+      for (const std::int64_t id : plan.candidates) {
         const Json* d = doc_by_id(s, id);
-        if (d && matches(*d, query) && pred(*d)) part.push_back(*d);
+        if (d && cq.eval(*d) && pred(*d)) part.push_back(*d);
       }
     } else {
       for (const auto& [id, p] : s.id_pos) {
         (void)id;
         const Json& d = s.docs[p];
-        if (matches(d, query) && pred(d)) part.push_back(d);
+        if (cq.eval(d) && pred(d)) part.push_back(d);
       }
     }
     parts.push_back(std::move(part));
@@ -428,17 +391,49 @@ std::vector<Json> Collection::find_filtered(
   return merge_by_id(std::move(parts));
 }
 
+Json Collection::explain(const Json& query) const {
+  const auto cq = query::CompiledQuery::compile(query);
+  Json out = Json::object();
+  out["query"] = query;
+  Json shards = Json::array();
+  const auto locks = lock_shared_all(shards_);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& s = *shards_[k];
+    const auto plan = query::plan_shard(s.indexes, cq);
+    Json sj = Json::object();
+    sj["shard"] = k;
+    sj["shard_size"] = s.docs.size();
+    sj["index_scan"] = plan.index_scan;
+    sj["candidates"] =
+        plan.index_scan ? Json(plan.candidates.size()) : Json(s.docs.size());
+    Json idxs = Json::array();
+    for (const auto& choice : plan.choices) {
+      Json cj = Json::object();
+      cj["path"] = *choice.path;
+      cj["estimate"] = choice.estimate;
+      cj["applied"] = choice.applied;
+      idxs.push_back(std::move(cj));
+    }
+    sj["indexes"] = std::move(idxs);
+    shards.push_back(std::move(sj));
+  }
+  out["shards"] = std::move(shards);
+  return out;
+}
+
 Json Collection::find_one(const Json& query) const {
+  const auto cq = query::CompiledQuery::compile(query);
   const auto locks = lock_shared_all(shards_);
   const Json* best = nullptr;
   std::int64_t best_id = 0;
   for (const auto& sp : shards_) {
     const Shard& s = *sp;
     const Json* first = nullptr;
-    if (const auto ids = plan(s, query)) {
-      for (const std::int64_t id : *ids) {
+    const auto plan = query::plan_shard(s.indexes, cq);
+    if (plan.index_scan) {
+      for (const std::int64_t id : plan.candidates) {
         const Json* d = doc_by_id(s, id);
-        if (d && matches(*d, query)) {
+        if (d && cq.eval(*d)) {
           first = d;
           break;
         }
@@ -446,7 +441,7 @@ Json Collection::find_one(const Json& query) const {
     } else {
       for (const auto& [id, p] : s.id_pos) {
         (void)id;
-        if (matches(s.docs[p], query)) {
+        if (cq.eval(s.docs[p])) {
           first = &s.docs[p];
           break;
         }
@@ -464,6 +459,7 @@ Json Collection::find_one(const Json& query) const {
 }
 
 std::size_t Collection::count(const Json& query) const {
+  const auto cq = query::CompiledQuery::compile(query);
   const auto locks = lock_shared_all(shards_);
   {
     const Json* cond = nullptr;
@@ -481,15 +477,16 @@ std::size_t Collection::count(const Json& query) const {
   std::size_t n = 0;
   for (const auto& sp : shards_) {
     const Shard& s = *sp;
-    if (const auto ids = plan(s, query)) {
-      for (const std::int64_t id : *ids) {
+    const auto plan = query::plan_shard(s.indexes, cq);
+    if (plan.index_scan) {
+      for (const std::int64_t id : plan.candidates) {
         const Json* d = doc_by_id(s, id);
-        if (d && matches(*d, query)) ++n;
+        if (d && cq.eval(*d)) ++n;
       }
     } else {
       for (const auto& [id, p] : s.id_pos) {
         (void)id;
-        if (matches(s.docs[p], query)) ++n;
+        if (cq.eval(s.docs[p])) ++n;
       }
     }
   }
@@ -497,6 +494,7 @@ std::size_t Collection::count(const Json& query) const {
 }
 
 bool Collection::exists(const Json& query) const {
+  const auto cq = query::CompiledQuery::compile(query);
   const auto locks = lock_shared_all(shards_);
   {
     const Json* cond = nullptr;
@@ -511,15 +509,16 @@ bool Collection::exists(const Json& query) const {
   }
   for (const auto& sp : shards_) {
     const Shard& s = *sp;
-    if (const auto ids = plan(s, query)) {
-      for (const std::int64_t id : *ids) {
+    const auto plan = query::plan_shard(s.indexes, cq);
+    if (plan.index_scan) {
+      for (const std::int64_t id : plan.candidates) {
         const Json* d = doc_by_id(s, id);
-        if (d && matches(*d, query)) return true;
+        if (d && cq.eval(*d)) return true;
       }
     } else {
       for (const auto& [id, p] : s.id_pos) {
         (void)id;
-        if (matches(s.docs[p], query)) return true;
+        if (cq.eval(s.docs[p])) return true;
       }
     }
   }
@@ -527,6 +526,11 @@ bool Collection::exists(const Json& query) const {
 }
 
 std::size_t Collection::remove(const Json& query) {
+  // Compiling first both hoists the per-document interpretation out of the
+  // shard loop and validates the query BEFORE it is WAL-logged: a malformed
+  // query used to be logged, then throw during apply, and recovery would
+  // re-throw replaying it — refusing to open the store.
+  const auto cq = query::CompiledQuery::compile(query);
   if (shard_count() == 1) {
     Shard& s = *shards_[0];
     std::unique_lock lock(s.mu);
@@ -536,7 +540,7 @@ std::size_t Collection::remove(const Json& query) {
       op["q"] = query;
       engine_->log_op(*this, 0, op);
     }
-    const std::size_t n = remove_shard_locked(s, query);
+    const std::size_t n = remove_shard_locked(s, cq);
     if (engine_) engine_->maybe_checkpoint(*this, 0);
     return n;
   }
@@ -551,17 +555,18 @@ std::size_t Collection::remove(const Json& query) {
   std::size_t n = 0;
   commit_multi(ops, [&] {
     for (std::size_t k = 0; k < shard_count(); ++k)
-      n += remove_shard_locked(*shards_[k], query);
+      n += remove_shard_locked(*shards_[k], cq);
   });
   return n;
 }
 
-std::size_t Collection::remove_shard_locked(Shard& s, const Json& query) {
+std::size_t Collection::remove_shard_locked(Shard& s,
+                                            const query::CompiledQuery& query) {
   std::vector<Json> kept;
   kept.reserve(s.docs.size());
   std::size_t removed = 0;
   for (auto& d : s.docs) {
-    if (matches(d, query)) {
+    if (query.eval(d)) {
       unindex_doc(s, d);
       ++removed;
     } else {
@@ -582,6 +587,8 @@ std::size_t Collection::remove_shard_locked(Shard& s, const Json& query) {
 std::size_t Collection::update(const Json& query, const Json& update) {
   if (!update.is_object())
     throw json::JsonError("Collection::update: update must be an object");
+  // Compile (= validate) before WAL-logging, as in remove().
+  const auto cq = query::CompiledQuery::compile(query);
   if (shard_count() == 1) {
     Shard& s = *shards_[0];
     std::unique_lock lock(s.mu);
@@ -592,7 +599,7 @@ std::size_t Collection::update(const Json& query, const Json& update) {
       op["u"] = update;
       engine_->log_op(*this, 0, op);
     }
-    const std::size_t n = update_shard_locked(s, query, update);
+    const std::size_t n = update_shard_locked(s, cq, update);
     if (engine_) engine_->maybe_checkpoint(*this, 0);
     return n;
   }
@@ -605,16 +612,17 @@ std::size_t Collection::update(const Json& query, const Json& update) {
   std::size_t n = 0;
   commit_multi(ops, [&] {
     for (std::size_t k = 0; k < shard_count(); ++k)
-      n += update_shard_locked(*shards_[k], query, update);
+      n += update_shard_locked(*shards_[k], cq, update);
   });
   return n;
 }
 
-std::size_t Collection::update_shard_locked(Shard& s, const Json& query,
+std::size_t Collection::update_shard_locked(Shard& s,
+                                            const query::CompiledQuery& query,
                                             const Json& update) {
   std::size_t n = 0;
   for (auto& d : s.docs) {
-    if (!matches(d, query)) continue;
+    if (!query.eval(d)) continue;
     unindex_doc(s, d);
     for (const auto& [k, v] : update.as_object()) {
       if (k == "_id") continue;  // ids are immutable
@@ -760,9 +768,10 @@ void Collection::replay_shard_op(std::size_t shard, const Json& op) {
     // applied whole (batch crash atomicity).
     for (const auto& d : op.at("ds").as_array()) insert_into_shard(s, d);
   } else if (kind == "u") {
-    update_shard_locked(s, op.at("q"), op.at("u"));
+    update_shard_locked(s, query::CompiledQuery::compile(op.at("q")),
+                        op.at("u"));
   } else if (kind == "r") {
-    remove_shard_locked(s, op.at("q"));
+    remove_shard_locked(s, query::CompiledQuery::compile(op.at("q")));
   } else {
     throw std::runtime_error("wal replay: unknown op '" + kind +
                              "' in collection " + name_);

@@ -43,6 +43,13 @@
 // the index only narrows candidates), everything else falls back to the
 // full scan; count()/exists() additionally answer straight from the index
 // (no document materialization) when the index serves the query exactly.
+//
+// Queries execute as compiled programs (src/db/query): find/count/exists/
+// update/remove lower the filter once into a flat program over pre-split
+// paths, then a selectivity-aware planner (query::plan_shard) ranks every
+// usable index by estimated candidate count, materializes the narrowest
+// and intersects further id lists while profitable. explain() reports the
+// chosen plan.
 #pragma once
 
 #include <atomic>
@@ -58,19 +65,25 @@
 
 #include "db/engine/engine.hpp"
 #include "db/engine/index.hpp"
+#include "db/query/program.hpp"
 #include "json/json.hpp"
 
 namespace gptc::db {
 
 using json::Json;
 
-/// Evaluates a Mongo-style match expression against a document. Exposed for
-/// reuse (the crowd layer post-filters nested arrays with it).
+/// Evaluates a Mongo-style match expression against a document. This is the
+/// reference interpreter: the collection read/write paths run compiled
+/// programs (query::CompiledQuery) instead, and the differential test in
+/// tests/test_query_compile.cpp holds the two to identical verdicts.
+/// Exposed for reuse (the crowd layer post-filters nested arrays with it).
 bool matches(const Json& document, const Json& query);
 
 /// Looks up a dot-separated path ("a.b.c") in a document. Purely numeric
 /// segments index into arrays ("grid.0" is grid[0]). Returns nullptr if any
 /// step is missing, out of bounds, or applied to a non-container.
+/// Delegates to query::lookup — one allocation-free walk shared with the
+/// compiled path and the index maintenance hot loops.
 const Json* lookup_path(const Json& document, const std::string& path);
 
 class Collection {
@@ -133,12 +146,25 @@ class Collection {
   /// an early-exit scan otherwise — either way it stops at the first hit.
   bool exists(const Json& query) const;
 
-  /// Removes matching documents; returns how many were removed.
+  /// Removes matching documents; returns how many were removed. The query
+  /// is compiled (and thus validated) BEFORE anything is WAL-logged, so a
+  /// malformed query throws without leaving a poisoned op in the log.
   std::size_t remove(const Json& query);
 
   /// Applies `update` (an object whose fields overwrite the document's) to
-  /// all matches; returns how many documents changed.
+  /// all matches; returns how many documents changed. Like remove(), the
+  /// query compiles before the op is WAL-logged.
   std::size_t update(const Json& query, const Json& update);
+
+  /// Query-plan introspection: compiles the query and reports, per shard,
+  /// whether an index scan was chosen, which indexes were considered with
+  /// their selectivity estimates, which were applied, and the final
+  /// candidate-set size. Read-only (takes the shard reader locks); shape:
+  ///   {"query": ..., "shards": [{"shard": 0, "index_scan": true,
+  ///     "candidates": 3, "shard_size": 120,
+  ///     "indexes": [{"path": ..., "estimate": 8, "applied": true}, ...]},
+  ///    ...]}
+  Json explain(const Json& query) const;
 
   /// Declares (or rebuilds) an ordered secondary index on a dot-path
   /// (maintained per shard). Idempotent; existing documents are indexed
@@ -208,21 +234,16 @@ class Collection {
   }
   void insert_into_shard(Shard& s, Json document);  // requires_lock: Shard::mu
   // requires_lock: Shard::mu
-  std::size_t update_shard_locked(Shard& s, const Json& query,
+  std::size_t update_shard_locked(Shard& s, const query::CompiledQuery& query,
                                   const Json& update);
   // requires_lock: Shard::mu
-  std::size_t remove_shard_locked(Shard& s, const Json& query);
+  std::size_t remove_shard_locked(Shard& s, const query::CompiledQuery& query);
   static void index_doc(Shard& s, const Json& doc);    // requires_lock: Shard::mu
   static void unindex_doc(Shard& s, const Json& doc);  // requires_lock: Shard::mu
   // guard-ok: single-threaded recovery/migration rebuild
   void rebuild_shard_derived(Shard& s);
   // requires_lock: Shard::mu shared
   static const Json* doc_by_id(const Shard& s, std::int64_t id);
-  /// Index-served candidate ids (sorted = insertion order) within one
-  /// shard, or nullopt when no declared index can narrow the query.
-  // requires_lock: Shard::mu shared
-  std::optional<std::vector<std::int64_t>> plan(const Shard& s,
-                                                const Json& query) const;
   /// The single {path: condition} entry an index answers exactly for
   /// count()/exists(), or nullptr.
   // requires_lock: Shard::mu shared

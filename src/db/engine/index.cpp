@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "db/document_store.hpp"
-
 namespace gptc::db::engine {
 
 using json::Json;
@@ -71,7 +69,7 @@ bool is_scalar(const Json& j) { return !j.is_array() && !j.is_object(); }
 }  // namespace
 
 void OrderedIndex::add(const Json& doc, std::int64_t id) {
-  const Json* value = lookup_path(doc, path_);
+  const Json* value = query::lookup(doc, path_);
   if (!value) return;
   const auto key = IndexKey::from_json(*value);
   if (!key) return;  // arrays/objects are not indexed (cannot match scalars)
@@ -80,7 +78,7 @@ void OrderedIndex::add(const Json& doc, std::int64_t id) {
 }
 
 void OrderedIndex::erase(const Json& doc, std::int64_t id) {
-  const Json* value = lookup_path(doc, path_);
+  const Json* value = query::lookup(doc, path_);
   if (!value) return;
   const auto key = IndexKey::from_json(*value);
   if (!key) return;
@@ -185,6 +183,80 @@ std::optional<std::vector<std::int64_t>> OrderedIndex::candidates(
       return out;
     }
     // $ne, $nin, $exists:true, ... — not index-servable, try the next op.
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> OrderedIndex::estimate(const Json& condition) const {
+  // Mirrors candidates() decision-for-decision: same usability tests, same
+  // first-usable-op selection, so the returned size is exactly the length
+  // of the id list candidates() would build (posting lists are disjoint
+  // across keys).
+  const auto equal_size = [&](const IndexKey& key) -> std::size_t {
+    const auto it = postings_.find(key);
+    return it == postings_.end() ? 0 : it->second.size();
+  };
+
+  if (!is_operator_object(condition)) {
+    if (!is_scalar(condition)) return std::nullopt;
+    const auto key = IndexKey::from_json(condition);
+    if (!key) return std::nullopt;
+    return equal_size(*key);
+  }
+
+  const auto& ops = condition.as_object();
+  const auto exists_it = ops.find("$exists");
+  if (exists_it != ops.end() && exists_it->second.is_bool() &&
+      !exists_it->second.as_bool())
+    return std::nullopt;
+
+  for (const auto& [op, operand] : ops) {
+    if (op == "$eq") {
+      if (!is_scalar(operand)) continue;
+      const auto key = IndexKey::from_json(operand);
+      if (!key) continue;
+      return equal_size(*key);
+    }
+    if (op == "$in") {
+      if (!operand.is_array()) continue;
+      bool usable = true;
+      for (const auto& item : operand.as_array())
+        if (!is_scalar(item)) {
+          usable = false;
+          break;
+        }
+      if (!usable) continue;
+      // Distinct keys only, like candidates()'s sort+unique over ids:
+      // [2, 2.0] selects one posting list, not the same list twice.
+      std::vector<IndexKey> keys;
+      for (const auto& item : operand.as_array())
+        if (auto key = IndexKey::from_json(item))
+          keys.push_back(std::move(*key));
+      std::sort(keys.begin(), keys.end());
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0 && !(keys[i - 1] < keys[i])) continue;
+        n += equal_size(keys[i]);
+      }
+      return n;
+    }
+    if (op == "$gt" || op == "$gte" || op == "$lt" || op == "$lte") {
+      if (!operand.is_number() && !operand.is_string()) continue;
+      const auto bound = IndexKey::from_json(operand);
+      if (!bound) continue;
+      auto it = (op == "$gt")    ? postings_.upper_bound(*bound)
+                : (op == "$gte") ? postings_.lower_bound(*bound)
+                                 : postings_.lower_bound(rank_min(bound->rank));
+      std::size_t n = 0;
+      for (; it != postings_.end(); ++it) {
+        const IndexKey& key = it->first;
+        if (key.rank != bound->rank) break;
+        if (op == "$lt" && !(key < *bound)) break;
+        if (op == "$lte" && *bound < key) break;
+        n += it->second.size();
+      }
+      return n;
+    }
   }
   return std::nullopt;
 }

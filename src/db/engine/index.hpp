@@ -1,8 +1,8 @@
 // Ordered secondary indexes over document dot-paths.
 //
-// An OrderedIndex maps the scalar value found at one dot-path (via
-// db::lookup_path, so "tuning_parameters.grid.0" works) to the sorted list
-// of document ids holding that value. The map is std::map — iteration
+// An OrderedIndex maps the scalar value found at one dot-path (via the
+// query layer's pre-split path walk, so "tuning_parameters.grid.0" works)
+// to the sorted list of document ids holding that value. The map is std::map — iteration
 // order is deterministic, which keeps the index lint-clean under gptc-lint
 // R2 and lets candidate lists come out in a reproducible order.
 //
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "db/query/path.hpp"
 #include "json/json.hpp"
 
 namespace gptc::db::engine {
@@ -46,9 +47,12 @@ struct IndexKey {
 
 class OrderedIndex {
  public:
-  explicit OrderedIndex(std::string path) : path_(std::move(path)) {}
+  /// The dot-path is split once at construction; add/erase walk the
+  /// pre-split segments (no per-document path parsing).
+  explicit OrderedIndex(std::string path)
+      : path_(query::PathRef::parse(path)) {}
 
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return path_.text(); }
   std::size_t distinct_keys() const { return postings_.size(); }
 
   /// Incremental maintenance: called with the document *as stored* (insert
@@ -62,6 +66,15 @@ class OrderedIndex {
   /// object. nullopt = index unusable for this condition, fall back to scan.
   std::optional<std::vector<std::int64_t>> candidates(
       const json::Json& condition) const;
+
+  /// Number of ids candidates(condition) would return, computed from the
+  /// posting-list bounds without materializing the id vector. nullopt
+  /// exactly when candidates() would be nullopt, so the planner can rank
+  /// every usable index by selectivity and materialize only the winners.
+  /// (Posting lists are disjoint across keys — one scalar per document per
+  /// path — so summing selected list sizes IS the candidate count; only
+  /// duplicate $in operands need the same key-dedup candidates() applies.)
+  std::optional<std::size_t> estimate(const json::Json& condition) const;
 
   /// True when the index serves `condition` EXACTLY — the posting lists are
   /// the match set, not merely a superset — so count()/exists() may consult
@@ -90,7 +103,7 @@ class OrderedIndex {
                      const IndexKey* hi, bool hi_open,
                      std::vector<std::int64_t>& out) const;
 
-  std::string path_;
+  query::PathRef path_;
   std::map<IndexKey, std::vector<std::int64_t>> postings_;
 };
 

@@ -1,0 +1,86 @@
+#include "db/query/path.hpp"
+
+#include <cctype>
+
+namespace gptc::db::query {
+
+using json::Json;
+
+std::optional<std::size_t> parse_array_index(std::string_view key) {
+  if (key.empty() || key.size() > 9) return std::nullopt;
+  std::size_t idx = 0;
+  for (char c : key) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    idx = idx * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return idx;
+}
+
+PathRef PathRef::parse(std::string_view path) {
+  PathRef ref;
+  ref.text_.assign(path);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string_view key = path.substr(
+        start, dot == std::string_view::npos ? std::string_view::npos
+                                             : dot - start);
+    Segment seg;
+    seg.key.assign(key);
+    if (const auto idx = parse_array_index(key)) {
+      seg.index = *idx;
+      seg.indexable = true;
+    }
+    ref.segments_.push_back(std::move(seg));
+    if (dot == std::string_view::npos) return ref;
+    start = dot + 1;
+  }
+}
+
+namespace {
+
+/// One lookup step shared by both walks: object-by-key first, then
+/// array-by-numeric-segment, else dead end.
+const Json* step(const Json* cur, std::string_view key,
+                 const std::optional<std::size_t>& idx) {
+  if (cur->is_object()) {
+    const auto& obj = cur->as_object();
+    const auto it = obj.find(key);  // heterogeneous: no key string built
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  if (cur->is_array()) {
+    if (!idx || *idx >= cur->size()) return nullptr;
+    return &cur->at(*idx);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const Json* lookup(const Json& document, const PathRef& path) {
+  const Json* cur = &document;
+  for (const auto& seg : path.segments()) {
+    cur = step(cur, seg.key,
+               seg.indexable ? std::optional<std::size_t>(seg.index)
+                             : std::nullopt);
+    if (!cur) return nullptr;
+  }
+  return cur;
+}
+
+const Json* lookup(const Json& document, std::string_view path) {
+  const Json* cur = &document;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string_view key = path.substr(
+        start, dot == std::string_view::npos ? std::string_view::npos
+                                             : dot - start);
+    cur = step(cur, key, parse_array_index(key));
+    if (!cur) return nullptr;
+    if (dot == std::string_view::npos) return cur;
+    start = dot + 1;
+  }
+}
+
+}  // namespace gptc::db::query

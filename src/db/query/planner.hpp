@@ -1,0 +1,59 @@
+// Selectivity-aware index planning for one shard.
+//
+// The previous planner took the FIRST query field with a usable index — for
+// the crowd read path that was always the `problem` index, whose posting
+// list is the whole partition, so every query still re-matched hundreds of
+// candidates. This planner asks every usable index for an estimate()
+// (posting-bound arithmetic, no id materialization), ranks the conjuncts by
+// selectivity, materializes only the narrowest, and intersects further
+// candidate lists while they keep paying for themselves.
+//
+// Correctness never depends on the estimates: every candidate list is a
+// superset of the shard's true matches (OrderedIndex superset semantics),
+// an intersection of supersets over conjunctive constraints is still a
+// superset, and the caller re-runs the full compiled program over whatever
+// survives. Planning only decides how much work the re-check does — results
+// are byte-identical to a full scan at any shard count. When no index is
+// usable the plan says "scan".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/engine/index.hpp"
+#include "db/query/program.hpp"
+
+namespace gptc::db::query {
+
+/// One usable (conjunct, index) pair, with its selectivity estimate.
+/// Pointers reference the CompiledQuery's retained tree — valid while the
+/// compiled query is. Plans are caller-local value objects built while the
+/// shard reader lock happens to be held; nothing here is shared state.
+struct IndexChoice {
+  const std::string* path = nullptr;
+  const json::Json* condition = nullptr;
+  std::size_t estimate = 0;  // guard-ok: caller-local plan value
+  // materialized (first) or intersected (later)
+  bool applied = false;  // guard-ok: caller-local plan value
+};
+
+struct ShardPlan {
+  /// False = no usable index, run the full shard scan.
+  bool index_scan = false;  // guard-ok: caller-local plan value
+  /// Sorted candidate ids (ascending = insertion order) when index_scan.
+  std::vector<std::int64_t> candidates;  // guard-ok: caller-local plan value
+  /// Every usable choice, ranked narrowest-first (ties by path — Json
+  /// objects iterate sorted, so plans are deterministic at any shard or
+  /// thread count).
+  std::vector<IndexChoice> choices;  // guard-ok: caller-local plan value
+};
+
+/// Plans one shard's scan for a compiled query against the shard's declared
+/// indexes. Caller holds the shard's reader lock.
+ShardPlan plan_shard(
+    const std::map<std::string, engine::OrderedIndex>& indexes,
+    const CompiledQuery& query);
+
+}  // namespace gptc::db::query

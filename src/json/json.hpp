@@ -37,8 +37,10 @@ class Json {
   // Type enumerators so `Type::Array` never shadows the alias (-Wshadow).
   using Array = std::vector<Json>;
   /// Object keys are kept sorted (std::map) — deterministic serialization
-  /// is more valuable to the database layer than insertion order.
-  using Object = std::map<std::string, Json>;
+  /// is more valuable to the database layer than insertion order. The
+  /// transparent comparator lets the query layer probe keys with a
+  /// string_view (no temporary std::string per lookup on the hot path).
+  using Object = std::map<std::string, Json, std::less<>>;
 
   enum class Type { Null, Bool, Int, Double, String, Array, Object };
 

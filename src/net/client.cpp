@@ -107,6 +107,17 @@ std::vector<json::Json> CrowdClient::query(const std::string& api_key,
   return records;
 }
 
+json::Json CrowdClient::explain(const std::string& api_key,
+                                const std::string& problem,
+                                const std::string& where) {
+  json::Json req = json::Json::object();
+  req["op"] = "explain";
+  req["api_key"] = api_key;
+  req["problem"] = problem;
+  req["where"] = where;
+  return call(req);
+}
+
 json::Json eval_to_json(const crowd::EvalUpload& e) {
   json::Json r = json::Json::object();
   r["task_parameters"] = e.task_parameters;

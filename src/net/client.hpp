@@ -72,6 +72,12 @@ class CrowdClient {
                                 const std::string& problem,
                                 const std::string& where);
 
+  /// Query-plan report for a WHERE clause (SharedRepo::explain_where wire
+  /// form): per shard the chosen index, every considered index with its
+  /// selectivity estimate, and the candidate-set size.
+  json::Json explain(const std::string& api_key, const std::string& problem,
+                     const std::string& where);
+
  private:
   Socket sock_;
   ClientOptions opts_;

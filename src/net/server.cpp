@@ -243,6 +243,7 @@ json::Json CrowdServer::dispatch(const json::Json& request) {
     if (name == "stats") return make_result(stats_json());
     if (name == "upload") return handle_upload(request);
     if (name == "query_evaluations") return handle_query(request);
+    if (name == "explain") return handle_explain(request);
     return make_error(ErrorCode::BadRequest, "unknown op: " + name);
   } catch (const json::JsonError& e) {
     return make_error(ErrorCode::BadRequest, e.what());
@@ -330,6 +331,31 @@ json::Json CrowdServer::handle_query(const json::Json& request) {
   r["records"] = std::move(arr);
   r["count"] = static_cast<std::int64_t>(found.size());
   return make_result(std::move(r));
+}
+
+json::Json CrowdServer::handle_explain(const json::Json& request) {
+  const json::Json key = request.get_or("api_key", json::Json(nullptr));
+  if (!key.is_string()) {
+    return make_error(ErrorCode::Auth, "missing api_key");
+  }
+  if (!repo_.authenticate(key.as_string())) {
+    return make_error(ErrorCode::Auth, "invalid or revoked API key");
+  }
+  const json::Json problem = request.get_or("problem", json::Json(nullptr));
+  if (!problem.is_string()) {
+    return make_error(ErrorCode::BadRequest, "missing problem name");
+  }
+  const json::Json where = request.get_or("where", json::Json(""));
+  if (!where.is_string()) {
+    return make_error(ErrorCode::BadRequest, "where must be a string");
+  }
+  try {
+    return make_result(repo_.explain_where(key.as_string(),
+                                           problem.as_string(),
+                                           where.as_string()));
+  } catch (const crowd::QueryParseError& e) {
+    return make_error(ErrorCode::BadRequest, e.what());
+  }
 }
 
 json::Json CrowdServer::stats_json() const {

@@ -22,6 +22,9 @@
 //   stats              — request/error/connection counters, no auth
 //   upload             — {api_key, problem, records:[...]} atomic batch
 //   query_evaluations  — {api_key, problem, where?} via the query planner
+//   explain            — {api_key, problem, where?} query-plan report
+//                        (per shard: chosen index, selectivity estimates,
+//                        candidate counts) without running the query
 //
 // Shutdown drains: stop() closes the listener, rejects new requests with
 // `shutting_down`, half-closes idle connections, and waits for in-flight
@@ -99,6 +102,7 @@ class CrowdServer {
   json::Json dispatch(const json::Json& request);
   json::Json handle_upload(const json::Json& request);
   json::Json handle_query(const json::Json& request);
+  json::Json handle_explain(const json::Json& request);
   json::Json stats_json() const;
 
   /// Registers / unregisters a live connection fd so stop() can

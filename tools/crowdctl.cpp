@@ -10,12 +10,14 @@
 //   crowdctl [--durable] [--shards N] <repo-dir> register <username> <email>
 //   crowdctl [--durable] [--shards N] <repo-dir> upload <api-key> <problem> <records.json>
 //   crowdctl [--durable] [--shards N] <repo-dir> query <api-key> <problem> [<where-clause>]
+//   crowdctl [--durable] [--shards N] <repo-dir> explain <api-key> <problem> [<where-clause>]
 //   crowdctl [--durable] [--shards N] <repo-dir> stats <problem>
 //   crowdctl [--durable] [--shards N] <repo-dir> variability <api-key> <problem>
 //   crowdctl [--durable] [--shards N] <repo-dir> collections
 //   crowdctl [--durable] [--shards N] <repo-dir> serve <port> [<workers>]
 //   crowdctl --remote <host:port> upload <api-key> <problem> <records.json>
 //   crowdctl --remote <host:port> query <api-key> <problem> [<where-clause>]
+//   crowdctl --remote <host:port> explain <api-key> <problem> [<where-clause>]
 //   crowdctl --remote <host:port> health
 //   crowdctl --remote <host:port> stats
 //
@@ -59,11 +61,14 @@ int usage() {
       "  register <username> <email>          create a user, print API key\n"
       "  upload <api-key> <problem> <file>    upload a JSON array of records\n"
       "  query <api-key> <problem> [where]    SQL-like query, print records\n"
+      "  explain <api-key> <problem> [where]  print the query plan (indexes\n"
+      "                                       picked, selectivity estimates,\n"
+      "                                       candidate counts), not records\n"
       "  stats <problem>                      record counts\n"
       "  variability <api-key> <problem>      noise/outlier report\n"
       "  collections                          list stored collections\n"
       "  serve <port> [workers]               serve the repo over TCP\n"
-      "remote commands: upload, query, health, stats\n"
+      "remote commands: upload, query, explain, health, stats\n"
       "options:\n"
       "  --durable    open on the WAL+snapshot storage engine (crash-safe)\n"
       "  --shards N   with --durable: N shards (WALs) per collection;\n"
@@ -97,6 +102,39 @@ crowd::EvalUpload eval_from_record(const Json& r) {
   e.accessibility =
       crowd::Accessibility::from_json(r.get_or("accessibility", Json("public")));
   return e;
+}
+
+/// Renders SharedRepo::explain_where()'s report (same shape locally and over
+/// the wire): one line per shard — index scan or full scan, candidate count —
+/// then each considered index with its selectivity estimate and whether the
+/// planner applied it (materialized or intersected).
+void print_plan(const Json& plan) {
+  std::cout << "query: " << plan.get_or("query", Json::object()).dump()
+            << "\n";
+  std::size_t candidates = 0, total = 0;
+  const Json shards = plan.get_or("shards", Json::array());  // get_or copies
+  for (const Json& shard : shards.as_array()) {
+    const bool index_scan =
+        shard.get_or("index_scan", Json(false)).as_bool();
+    const std::int64_t cand = shard.get_or("candidates", Json(0)).as_int();
+    const std::int64_t size = shard.get_or("shard_size", Json(0)).as_int();
+    candidates += static_cast<std::size_t>(cand);
+    total += static_cast<std::size_t>(size);
+    std::cout << "shard " << shard.get_or("shard", Json(0)).as_int() << ": "
+              << (index_scan ? "INDEX SCAN" : "FULL SCAN") << ", " << cand
+              << " of " << size << " candidate(s)\n";
+    const Json idxs = shard.get_or("indexes", Json::array());
+    for (const Json& idx : idxs.as_array()) {
+      std::cout << "  index " << idx.get_or("path", Json("")).as_string()
+                << ": estimate=" << idx.get_or("estimate", Json(0)).as_int()
+                << (idx.get_or("applied", Json(false)).as_bool()
+                        ? " (applied)"
+                        : " (skipped)")
+                << "\n";
+    }
+  }
+  std::cout << "total: " << candidates << " candidate(s) across "
+            << total << " document(s)\n";
 }
 
 int run_remote(int argc, char** argv) {
@@ -143,6 +181,12 @@ int run_remote(int argc, char** argv) {
     const auto records = client.query(argv[4], argv[5], where);
     for (const auto& r : records) std::cout << r.dump() << "\n";
     std::cerr << records.size() << " record(s)\n";
+    return 0;
+  }
+  if (command == "explain") {
+    if (argc != 6 && argc != 7) return usage();
+    const std::string where = argc == 7 ? argv[6] : "";
+    print_plan(client.explain(argv[4], argv[5], where));
     return 0;
   }
   return usage();
@@ -269,6 +313,12 @@ int run(int argc, char** argv) {
     const auto records = repo.query_where(argv[3], argv[4], where);
     for (const auto& r : records) std::cout << r.dump() << "\n";
     std::cerr << records.size() << " record(s)\n";
+    return 0;
+  }
+  if (command == "explain") {
+    if (argc != 5 && argc != 6) return usage();
+    const std::string where = argc == 6 ? argv[5] : "";
+    print_plan(repo.explain_where(argv[3], argv[4], where));
     return 0;
   }
   if (command == "stats") {
