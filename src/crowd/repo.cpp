@@ -1,6 +1,7 @@
 #include "crowd/repo.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <limits>
@@ -90,7 +91,12 @@ std::string hash_api_key_v2(const std::string& salt,
 /// stored hash_version: 2 = salted SipHash-2-4; absent/1 = the legacy fast
 /// FNV hash, kept so repository directories written by older builds still
 /// authenticate.
+/// Process-wide count of stored-key hash verifications; the server tests
+/// assert one per request (the AuthedUser proof token elides re-hashing).
+std::atomic<std::uint64_t> g_auth_hash_invocations{0};
+
 bool key_doc_matches(const Json& doc, const std::string& api_key) {
+  g_auth_hash_invocations.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t version = doc.get_or("hash_version", Json(1)).as_int();
   if (version == 2)
     return doc.get_or("key_hash", Json("")).as_string() ==
@@ -155,6 +161,17 @@ std::optional<std::string> SharedRepo::authenticate(
     return true;
   });
   return user;
+}
+
+std::optional<AuthedUser> SharedRepo::authenticate_user(
+    const std::string& api_key) const {
+  auto user = authenticate(api_key);
+  if (!user) return std::nullopt;
+  return AuthedUser(std::move(*user));
+}
+
+std::uint64_t SharedRepo::auth_hash_invocations() {
+  return g_auth_hash_invocations.load(std::memory_order_relaxed);
 }
 
 bool SharedRepo::revoke_api_key(const std::string& api_key) {
@@ -347,12 +364,19 @@ std::int64_t SharedRepo::upload(const std::string& api_key,
 SharedRepo::UploadReceipt SharedRepo::upload_batch(
     const std::string& api_key, const std::string& problem_name,
     const std::vector<EvalUpload>& evals) {
-  const std::string user = require_user(api_key);
+  const auto user = authenticate_user(api_key);
+  if (!user) throw std::invalid_argument("invalid API key");
+  return upload_batch(*user, problem_name, evals);
+}
+
+SharedRepo::UploadReceipt SharedRepo::upload_batch(
+    const AuthedUser& user, const std::string& problem_name,
+    const std::vector<EvalUpload>& evals) {
   std::vector<Json> records;
   records.reserve(evals.size());
   for (const auto& e : evals)
-    records.push_back(build_record(user, problem_name, e));
-  return upload_records(user, problem_name, std::move(records));
+    records.push_back(build_record(user.username(), problem_name, e));
+  return upload_records(user.username(), problem_name, std::move(records));
 }
 
 SharedRepo::UploadReceipt SharedRepo::upload_records(
@@ -538,7 +562,15 @@ std::vector<Json> SharedRepo::query_function_evaluations(
 std::vector<Json> SharedRepo::query_where(const std::string& api_key,
                                           const std::string& problem_name,
                                           std::string_view where_clause) const {
-  const std::string user = require_user(api_key);
+  const auto user = authenticate_user(api_key);
+  if (!user) throw std::invalid_argument("invalid API key");
+  return query_where(*user, problem_name, where_clause);
+}
+
+std::vector<Json> SharedRepo::query_where(const AuthedUser& authed,
+                                          const std::string& problem_name,
+                                          std::string_view where_clause) const {
+  const std::string& user = authed.username();
   const Json condition = parse_where_clause(where_clause);
   const auto* evals = store_.find_collection("func_eval");
   std::vector<Json> out;
@@ -567,7 +599,14 @@ Json SharedRepo::planned_where(const std::string& problem_name,
 Json SharedRepo::explain_where(const std::string& api_key,
                                const std::string& problem_name,
                                std::string_view where_clause) const {
-  require_user(api_key);  // same authentication as the query itself
+  const auto user = authenticate_user(api_key);
+  if (!user) throw std::invalid_argument("invalid API key");
+  return explain_where(*user, problem_name, where_clause);
+}
+
+Json SharedRepo::explain_where(const AuthedUser&,
+                               const std::string& problem_name,
+                               std::string_view where_clause) const {
   const Json condition = parse_where_clause(where_clause);
   const Json q = planned_where(problem_name, condition);
   const auto* evals = store_.find_collection("func_eval");

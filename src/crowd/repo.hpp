@@ -56,6 +56,24 @@ struct EvalUpload {
   Accessibility accessibility;
 };
 
+class SharedRepo;
+
+/// Proof of a completed API-key authentication: carries the resolved
+/// username and can only be minted by SharedRepo::authenticate_user(), so
+/// an endpoint taking AuthedUser is unreachable without paying the salted
+/// key hash — and taking it BY token means paying it exactly once per
+/// request instead of once per layer. Copyable; the proof covers the whole
+/// request it was minted for.
+class AuthedUser {
+ public:
+  const std::string& username() const { return username_; }
+
+ private:
+  friend class SharedRepo;
+  explicit AuthedUser(std::string username) : username_(std::move(username)) {}
+  std::string username_;
+};
+
 class SharedRepo {
  public:
   explicit SharedRepo(std::uint64_t seed = 0x6a09e667f3bcc908ULL);
@@ -72,6 +90,17 @@ class SharedRepo {
 
   /// Resolves an API key to a username, or nullopt if invalid/revoked.
   std::optional<std::string> authenticate(const std::string& api_key) const;
+
+  /// Resolves an API key to an AuthedUser proof token, or nullopt if
+  /// invalid/revoked. The token drives the authenticated overloads of
+  /// upload_batch/query_where/explain_where without re-hashing the key:
+  /// the server authenticates each request once and reuses the proof.
+  std::optional<AuthedUser> authenticate_user(const std::string& api_key) const;
+
+  /// Number of stored-key hash verifications performed by this process —
+  /// observability for the one-hash-per-request contract (each
+  /// authentication scans the key documents and hashes once per candidate).
+  static std::uint64_t auth_hash_invocations();
 
   /// Revokes one API key. Returns false if it was not valid.
   bool revoke_api_key(const std::string& api_key);
@@ -122,6 +151,12 @@ class SharedRepo {
                              const std::string& problem_name,
                              const std::vector<EvalUpload>& evals);
 
+  /// Authenticated-caller form: the AuthedUser proof replaces the API key,
+  /// so no key hash is paid here (the caller already authenticated).
+  UploadReceipt upload_batch(const AuthedUser& user,
+                             const std::string& problem_name,
+                             const std::vector<EvalUpload>& evals);
+
   /// Blocks until every record of a receipt is durable (WAL fsync or
   /// covering snapshot). No-op for non-durable repositories. With async
   /// group commit this is where the server's upload ack waits; see
@@ -144,6 +179,11 @@ class SharedRepo {
                                       const std::string& problem_name,
                                       std::string_view where_clause) const;
 
+  /// Authenticated-caller form of query_where: no key hash is paid here.
+  std::vector<json::Json> query_where(const AuthedUser& user,
+                                      const std::string& problem_name,
+                                      std::string_view where_clause) const;
+
   /// Query-plan introspection for a WHERE clause: parses and plans exactly
   /// the query query_where() would run and returns Collection::explain()'s
   /// report (per shard: index scan or full scan, every considered index
@@ -151,6 +191,11 @@ class SharedRepo {
   /// Requires the same authentication; throws QueryParseError on bad
   /// syntax.
   json::Json explain_where(const std::string& api_key,
+                           const std::string& problem_name,
+                           std::string_view where_clause) const;
+
+  /// Authenticated-caller form of explain_where: no key hash is paid here.
+  json::Json explain_where(const AuthedUser& user,
                            const std::string& problem_name,
                            std::string_view where_clause) const;
 

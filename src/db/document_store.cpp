@@ -197,14 +197,18 @@ std::int64_t Collection::insert(Json document) {
   document["_id"] = id;
   const std::size_t k = shard_of(id);
   Shard& s = *shards_[k];
-  std::unique_lock lock(s.mu);
-  if (engine_) {
-    Json op = Json::object();
-    op["o"] = "i";
-    op["d"] = document;
-    engine_->log_op(*this, k, op);  // write-ahead: log before apply
+  {
+    std::unique_lock lock(s.mu);
+    if (engine_) {
+      Json op = Json::object();
+      op["o"] = "i";
+      op["d"] = document;
+      engine_->log_op(*this, k, op);  // write-ahead: log before apply
+    }
+    insert_into_shard(s, std::move(document));
   }
-  insert_into_shard(s, std::move(document));
+  // Checkpoint with the shard unlocked: the snapshot I/O must not extend
+  // this writer's critical section.
   if (engine_) engine_->maybe_checkpoint(*this, k);
   return id;
 }
@@ -236,19 +240,21 @@ Collection::BatchInsert Collection::insert_batch(std::vector<Json> documents) {
     const std::size_t k = by_shard.begin()->first;
     auto& docs = by_shard.begin()->second;
     Shard& s = *shards_[k];
-    std::unique_lock lock(s.mu);
-    if (engine_) {
-      Json batch = Json::array();
-      for (const auto& d : docs) batch.as_array().push_back(d);
-      Json op = Json::object();
-      op["o"] = "b";
-      op["ds"] = std::move(batch);
-      const std::uint64_t seq = engine_->log_op(*this, k, op);
-      out.ticket = {engine::StorageEngine::shard_stem(name_, k, shard_count()),
-                    seq};
-      out.commit_seq = seq;
+    {
+      std::unique_lock lock(s.mu);
+      if (engine_) {
+        Json batch = Json::array();
+        for (const auto& d : docs) batch.as_array().push_back(d);
+        Json op = Json::object();
+        op["o"] = "b";
+        op["ds"] = std::move(batch);
+        const std::uint64_t seq = engine_->log_op(*this, k, op);
+        out.ticket = {
+            engine::StorageEngine::shard_stem(name_, k, shard_count()), seq};
+        out.commit_seq = seq;
+      }
+      for (auto& d : docs) insert_into_shard(s, std::move(d));
     }
-    for (auto& d : docs) insert_into_shard(s, std::move(d));
     if (engine_) engine_->maybe_checkpoint(*this, k);
     return out;
   }
@@ -303,10 +309,12 @@ engine::CommitTicket Collection::commit_multi(
       members.push_back({this, k, op});
     ticket = engine_->log_commit(members);  // write-ahead: log before apply
     apply();
-    for (const auto& [k, op] : ops_by_shard) {
-      (void)op;
-      engine_->maybe_checkpoint(*this, k);
-    }
+  }
+  // Shard locks and the commit gate are released: checkpoints (snapshot
+  // I/O) run without extending the commit's critical section.
+  for (const auto& [k, op] : ops_by_shard) {
+    (void)op;
+    engine_->maybe_checkpoint(*this, k);
   }
   engine_->maybe_compact_commits();  // needs the gate exclusively: call last
   return ticket;
@@ -533,14 +541,17 @@ std::size_t Collection::remove(const Json& query) {
   const auto cq = query::CompiledQuery::compile(query);
   if (shard_count() == 1) {
     Shard& s = *shards_[0];
-    std::unique_lock lock(s.mu);
-    if (engine_) {
-      Json op = Json::object();
-      op["o"] = "r";
-      op["q"] = query;
-      engine_->log_op(*this, 0, op);
+    std::size_t n = 0;
+    {
+      std::unique_lock lock(s.mu);
+      if (engine_) {
+        Json op = Json::object();
+        op["o"] = "r";
+        op["q"] = query;
+        engine_->log_op(*this, 0, op);
+      }
+      n = remove_shard_locked(s, cq);
     }
-    const std::size_t n = remove_shard_locked(s, cq);
     if (engine_) engine_->maybe_checkpoint(*this, 0);
     return n;
   }
@@ -591,15 +602,18 @@ std::size_t Collection::update(const Json& query, const Json& update) {
   const auto cq = query::CompiledQuery::compile(query);
   if (shard_count() == 1) {
     Shard& s = *shards_[0];
-    std::unique_lock lock(s.mu);
-    if (engine_) {
-      Json op = Json::object();
-      op["o"] = "u";
-      op["q"] = query;
-      op["u"] = update;
-      engine_->log_op(*this, 0, op);
+    std::size_t n = 0;
+    {
+      std::unique_lock lock(s.mu);
+      if (engine_) {
+        Json op = Json::object();
+        op["o"] = "u";
+        op["q"] = query;
+        op["u"] = update;
+        engine_->log_op(*this, 0, op);
+      }
+      n = update_shard_locked(s, cq, update);
     }
-    const std::size_t n = update_shard_locked(s, cq, update);
     if (engine_) engine_->maybe_checkpoint(*this, 0);
     return n;
   }
@@ -916,8 +930,10 @@ DocumentStore::AtomicInsert DocumentStore::insert_atomic(
     }
     out.ticket = engine_->log_commit(cms);  // write-ahead: log before apply
     apply();
-    for (const auto& m : members) engine_->maybe_checkpoint(*m.c, m.shard);
   }
+  // Shard locks and the commit gate are released: checkpoints (snapshot
+  // I/O) run without extending the commit's critical section.
+  for (const auto& m : members) engine_->maybe_checkpoint(*m.c, m.shard);
   engine_->maybe_compact_commits();
   return out;
 }

@@ -441,10 +441,7 @@ void StorageEngine::recover(DocumentStore& store) {
       // Absorb the export into snapshots now; after a migration the new
       // layout's snapshots already cover it.
       Collection& c = store.collection(name);
-      for (std::size_t k = 0; k < shard_count_; ++k) {
-        std::unique_lock lock(c.shards_[k]->mu);
-        checkpoint_shard_locked(c, k);
-      }
+      for (std::size_t k = 0; k < shard_count_; ++k) checkpoint_shard(c, k);
     }
     // Retire the source so a later recovery whose snapshot goes missing
     // can never silently fall back to this stale state.
@@ -582,14 +579,11 @@ void StorageEngine::maybe_checkpoint(Collection& c, std::size_t shard) {
   if (replaying_) return;
   const std::string key = shard_stem(c.name(), shard, shard_count_);
   if (wal_for(key).bytes() >= opts_.checkpoint_wal_bytes)
-    checkpoint_shard_locked(c, shard);
+    checkpoint_shard(c, shard);
 }
 
 void StorageEngine::checkpoint(Collection& c) {
-  for (std::size_t k = 0; k < c.shard_count(); ++k) {
-    std::unique_lock lock(c.shards_[k]->mu);
-    checkpoint_shard_locked(c, k);
-  }
+  for (std::size_t k = 0; k < c.shard_count(); ++k) checkpoint_shard(c, k);
 }
 
 void StorageEngine::sync_commit_wal_if_pending() {
@@ -597,18 +591,35 @@ void StorageEngine::sync_commit_wal_if_pending() {
   if (cw != nullptr && cw->bytes() > cw->synced_bytes()) cw->sync();
 }
 
-void StorageEngine::checkpoint_shard_locked(Collection& c, std::size_t shard) {
-  // A shard snapshot may cover reserved slots of logical commits; their
-  // commit records must hit the disk first, or a power loss could keep
-  // this member (inside the snapshot) while erasing every other one.
-  sync_commit_wal_if_pending();
+void StorageEngine::checkpoint_shard(Collection& c, std::size_t shard) {
+  // One checkpoint at a time, engine-wide: checkpoints are rare
+  // (size-amortized), and serializing them keeps an older capture from
+  // renaming its snapshot over a newer one after the newer one already
+  // truncated the WAL.
+  std::lock_guard<std::mutex> ckpt(checkpoint_mu_);
   const std::string key = shard_stem(c.name(), shard, shard_count_);
   WalWriter& w = wal_for(key);
-  const std::uint64_t last_seq = w.next_seq() - 1;
-  write_snapshot(dir_ / (key + ".snapshot"), c.shard_to_json(shard), last_seq,
+  Json state;
+  std::uint64_t last_seq = 0;
+  {
+    // The shard's writer lock is held only for this in-memory capture —
+    // readers and writers proceed while the snapshot hits the disk below.
+    std::unique_lock lock(c.shards_[shard]->mu);
+    last_seq = w.next_seq() - 1;
+    state = c.shard_to_json(shard);
+  }
+  // The captured state may include applied members of logical commits;
+  // their commit records must hit the disk before the snapshot exists, or
+  // a power loss could keep this member (inside the snapshot) while
+  // erasing every other one. Synced after the capture so every record
+  // covering captured state is included.
+  sync_commit_wal_if_pending();
+  write_snapshot(dir_ / (key + ".snapshot"), std::move(state), last_seq,
                  opts_.fault);
-  // The snapshot now covers every logged record: compact the WAL away.
-  w.reset();
+  // Compact the WAL only if nothing was appended since the capture: a
+  // record that landed in between is not covered by the snapshot and must
+  // survive for replay (recovery skips seq <= the snapshot's last_seq).
+  w.reset_if_covered(last_seq);
   // The snapshot was fsynced before its rename, so everything up to
   // last_seq is durable without a WAL fsync — release any waiters.
   if (committer_) committer_->mark_durable(key, last_seq);
@@ -621,11 +632,7 @@ void StorageEngine::checkpoint_all() {
   std::unique_lock gate(commit_gate_);
   for (auto& [name, c] : store_->collections_) {
     (void)name;
-    for (std::size_t k = 0; k < c.shard_count(); ++k) {
-      std::unique_lock lock(c.shards_[k]->mu);
-      // guard-ok: writer lock held (analyzer cannot type the binding `c`)
-      checkpoint_shard_locked(c, k);
-    }
+    for (std::size_t k = 0; k < c.shard_count(); ++k) checkpoint_shard(c, k);
   }
   WalWriter* cw = find_wal(commit_wal_stem());
   if (cw != nullptr) {

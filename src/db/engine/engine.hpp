@@ -203,12 +203,14 @@ class StorageEngine {
   std::uint64_t wal_bytes(const std::string& wal) const;
 
   /// Checkpoints shard `shard` of `c` if its WAL crossed the threshold.
-  /// Called by Collection mutators under that shard's writer lock, after
-  /// the op is applied.
+  /// Called by Collection mutators AFTER releasing the shard's writer lock
+  /// (checkpoint_shard takes it briefly for the state capture; the snapshot
+  /// I/O runs with the shard unlocked).
+  // blocking-ok: size-amortized checkpoint entry point — the snapshot I/O runs outside any shard lock
   void maybe_checkpoint(Collection& c, std::size_t shard);
 
   /// Forces a checkpoint of every shard of `c` (takes the shard locks
-  /// itself).
+  /// itself, one brief capture at a time).
   void checkpoint(Collection& c);
 
   /// Full compaction: checkpoints every shard of every collection and
@@ -218,6 +220,7 @@ class StorageEngine {
 
   /// Size-triggered checkpoint_all(): runs when the commit WAL outgrew
   /// checkpoint_wal_bytes. Callers must hold NO engine or shard locks.
+  // blocking-ok: size-amortized compaction entry point — runs with no caller-held locks, only past the WAL size threshold
   void maybe_compact_commits();
 
   /// fsyncs all WALs' pending group-commit batches.
@@ -240,8 +243,11 @@ class StorageEngine {
   /// power loss could keep the snapshot (one member applied) but erase the
   /// record (every other member lost). Cheap when nothing is pending.
   void sync_commit_wal_if_pending();
-  // requires_lock: Shard::mu
-  void checkpoint_shard_locked(Collection& c, std::size_t shard);
+  /// Snapshots one shard and compacts its WAL. Takes the shard's writer
+  /// lock only for the in-memory state capture; the commit-WAL sync, the
+  /// snapshot write and the WAL truncation all run with the shard unlocked,
+  /// so writers block for the serialization, not the disk.
+  void checkpoint_shard(Collection& c, std::size_t shard);
   // guard-ok: single-threaded recovery-time shard-count migration
   void migrate_shard_count(DocumentStore& store, std::size_t from,
                            std::size_t to);
@@ -257,6 +263,10 @@ class StorageEngine {
   // guard-ok: set once by recover() before any concurrent use
   DocumentStore* store_ = nullptr;  // owner of this engine
   std::shared_mutex commit_gate_;
+  /// Serializes whole checkpoints. Without it, two threads interleaving
+  /// capture and rename for the same shard could install an older snapshot
+  /// over a newer one after the newer one already truncated the WAL.
+  std::mutex checkpoint_mu_;
   mutable std::mutex wals_mu_;  // guards the map shape only
   std::map<std::string, Wal> wals_;  // guarded_by: wals_mu_
   /// Async commit thread; null unless opts_.async_commit. Declared last so

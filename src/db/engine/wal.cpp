@@ -52,6 +52,7 @@ void write_all(int fd, const char* data, std::size_t len,
                const std::filesystem::path& path) {
   std::size_t off = 0;
   while (off < len) {
+    // blocking-ok: the write-ahead contract — the record must reach the disk before the in-memory apply, and the WAL mutex is what orders the frames
     const ssize_t n = ::write(fd, data + off, len - off);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -159,6 +160,7 @@ std::uint64_t WalWriter::append(const json::Json& payload) {
   if (fault_ && fault_->fire(FaultPoint::WalShortWrite)) {
     // Torn record: half the frame reaches the disk, then the process dies.
     write_all(fd_, frame.data(), frame.size() / 2, path_);
+    // blocking-ok: fault-injection path — modelling the crash needs the torn bytes durable first
     ::fsync(fd_);
     throw CrashInjected("injected crash mid WAL append (seq " + seq_hex +
                         ")");
@@ -188,6 +190,7 @@ void WalWriter::sync_locked() {
   // extends the file. Skipping the mtime-only metadata update keeps
   // concurrent per-shard WAL syncs from queueing behind one another in the
   // filesystem journal.
+  // blocking-ok: the group-commit durability point — this one syscall is sync_locked's whole purpose, and the mutex orders it after the frames it covers
   if (::fdatasync(fd_) != 0)
     throw std::runtime_error("wal: fdatasync failed for " + path_.string() +
                              ": " + std::strerror(errno));
@@ -197,12 +200,24 @@ void WalWriter::sync_locked() {
 
 void WalWriter::reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  reset_locked();
+}
+
+bool WalWriter::reset_if_covered(std::uint64_t last_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_seq_ - 1 != last_seq) return false;
+  reset_locked();
+  return true;
+}
+
+void WalWriter::reset_locked() {
   if (::ftruncate(fd_, 0) != 0)
     throw std::runtime_error("wal: cannot truncate " + path_.string() + ": " +
                              std::strerror(errno));
   if (::lseek(fd_, 0, SEEK_SET) < 0)
     throw std::runtime_error("wal: cannot seek " + path_.string() + ": " +
                              std::strerror(errno));
+  // blocking-ok: the post-compaction truncation must be durable before the caller reports the covering snapshot as the only source of truth
   if (::fsync(fd_) != 0)
     throw std::runtime_error("wal: fsync failed for " + path_.string() +
                              ": " + std::strerror(errno));

@@ -97,6 +97,13 @@ class WalWriter {
   /// to zero. Sequence numbers keep increasing across the truncation.
   void reset();
 
+  /// reset(), but only if no record was appended since the caller observed
+  /// `last_seq` as the newest sequence number — the checkpoint compaction
+  /// path captures shard state, writes the snapshot with the shard
+  /// unlocked, and must not discard records that landed in between (the
+  /// snapshot does not cover them). Returns whether the log was truncated.
+  bool reset_if_covered(std::uint64_t last_seq);
+
   std::uint64_t next_seq() const;
   std::uint64_t bytes() const;
 
@@ -109,6 +116,8 @@ class WalWriter {
  private:
   // requires_lock: mu_
   void sync_locked();
+  // requires_lock: mu_
+  void reset_locked();
 
   std::filesystem::path path_;   // guard-ok: immutable after construction
   WalFormat fmt_;                // guard-ok: immutable after construction

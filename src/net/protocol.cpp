@@ -63,6 +63,13 @@ DecodedHeader decode_header(const char* header) {
     out.error = ErrorCode::BadVersion;
     return out;
   }
+  // Flags and reserved bytes must be zero until a version bump assigns
+  // them meaning: tolerating garbage here would let corrupt or
+  // forward-version frames masquerade as valid v1 traffic.
+  if (header[5] != 0 || header[6] != 0 || header[7] != 0) {
+    out.error = ErrorCode::BadFrame;
+    return out;
+  }
   out.payload_size = (static_cast<std::uint32_t>(
                           static_cast<std::uint8_t>(header[8]))
                       << 24) |
@@ -74,6 +81,9 @@ DecodedHeader decode_header(const char* header) {
                       << 8) |
                      static_cast<std::uint32_t>(
                          static_cast<std::uint8_t>(header[11]));
+  // Every frame carries a JSON document, and no JSON document is empty: a
+  // declared length of zero is a malformed frame, not an empty message.
+  if (out.payload_size == 0) out.error = ErrorCode::BadFrame;
   return out;
 }
 

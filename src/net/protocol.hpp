@@ -67,9 +67,11 @@ struct DecodedHeader {
   std::optional<ErrorCode> error;  // BadFrame / BadVersion when malformed
 };
 
-/// Validates magic + version and extracts the payload length. Does not
-/// enforce a size bound — the caller compares against its own limit so
-/// TooLarge can be reported with the limit in the message.
+/// Validates magic + version, requires the flags/reserved bytes to be
+/// zero, and extracts the payload length. A declared length of zero is
+/// BadFrame (every frame carries a JSON document, never empty). Does not
+/// enforce an upper size bound — the caller compares against its own
+/// limit so TooLarge can be reported with the limit in the message.
 DecodedHeader decode_header(const char* header);
 
 /// Builds the standard success / error response payloads.

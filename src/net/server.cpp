@@ -257,7 +257,9 @@ json::Json CrowdServer::handle_upload(const json::Json& request) {
   if (!key.is_string()) {
     return make_error(ErrorCode::Auth, "missing api_key");
   }
-  if (!repo_.authenticate(key.as_string())) {
+  const std::optional<crowd::AuthedUser> user =
+      repo_.authenticate_user(key.as_string());
+  if (!user) {
     return make_error(ErrorCode::Auth, "invalid or revoked API key");
   }
   const json::Json problem = request.get_or("problem", json::Json(nullptr));
@@ -285,7 +287,7 @@ json::Json CrowdServer::handle_upload(const json::Json& request) {
   }
 
   const crowd::SharedRepo::UploadReceipt receipt =
-      repo_.upload_batch(key.as_string(), problem.as_string(), evals);
+      repo_.upload_batch(*user, problem.as_string(), evals);
   // The ack gate: with async group commit this blocks until the commit
   // thread fsynced the batch's WAL — the shard WAL its frame lives in, or
   // the engine commit WAL when the upload spans shards or wrote catalog
@@ -307,7 +309,9 @@ json::Json CrowdServer::handle_query(const json::Json& request) {
   if (!key.is_string()) {
     return make_error(ErrorCode::Auth, "missing api_key");
   }
-  if (!repo_.authenticate(key.as_string())) {
+  const std::optional<crowd::AuthedUser> user =
+      repo_.authenticate_user(key.as_string());
+  if (!user) {
     return make_error(ErrorCode::Auth, "invalid or revoked API key");
   }
   const json::Json problem = request.get_or("problem", json::Json(nullptr));
@@ -320,8 +324,7 @@ json::Json CrowdServer::handle_query(const json::Json& request) {
   }
   std::vector<json::Json> found;
   try {
-    found = repo_.query_where(key.as_string(), problem.as_string(),
-                              where.as_string());
+    found = repo_.query_where(*user, problem.as_string(), where.as_string());
   } catch (const crowd::QueryParseError& e) {
     return make_error(ErrorCode::BadRequest, e.what());
   }
@@ -338,7 +341,9 @@ json::Json CrowdServer::handle_explain(const json::Json& request) {
   if (!key.is_string()) {
     return make_error(ErrorCode::Auth, "missing api_key");
   }
-  if (!repo_.authenticate(key.as_string())) {
+  const std::optional<crowd::AuthedUser> user =
+      repo_.authenticate_user(key.as_string());
+  if (!user) {
     return make_error(ErrorCode::Auth, "invalid or revoked API key");
   }
   const json::Json problem = request.get_or("problem", json::Json(nullptr));
@@ -350,9 +355,8 @@ json::Json CrowdServer::handle_explain(const json::Json& request) {
     return make_error(ErrorCode::BadRequest, "where must be a string");
   }
   try {
-    return make_result(repo_.explain_where(key.as_string(),
-                                           problem.as_string(),
-                                           where.as_string()));
+    return make_result(
+        repo_.explain_where(*user, problem.as_string(), where.as_string()));
   } catch (const crowd::QueryParseError& e) {
     return make_error(ErrorCode::BadRequest, e.what());
   }

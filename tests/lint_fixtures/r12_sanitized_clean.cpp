@@ -1,0 +1,31 @@
+// Clean counterpart of r12_taint_resize.cpp: the same wire-to-allocation
+// flows, but every one is bounded first — by a comparison against a named
+// maximum, or by an explicit taint-ok annotation where the bound lives
+// elsewhere. Must produce zero findings.
+#include <string>
+#include <vector>
+
+inline constexpr unsigned kMaxFrame = 1u << 20;
+
+struct Sock {
+  int recv_exact(char* buf, unsigned n);
+};
+
+unsigned decode_len(const char* buf);  // no definition: taint passes through
+
+void handle_bounded(Sock& s) {
+  char header[8];
+  s.recv_exact(header, 8);
+  const unsigned n = decode_len(header);
+  if (n > kMaxFrame) return;  // the sanitizing comparison
+  std::string body;
+  body.assign(n, '\0');
+}
+
+void handle_annotated(Sock& s) {
+  char header[8];
+  s.recv_exact(header, 8);
+  std::vector<char> scratch;
+  // taint-ok: decode_len is an 8-byte field read, bounded by the pool cap upstream
+  scratch.resize(decode_len(header));
+}

@@ -1,0 +1,21 @@
+// Seeded R12 violation: a wire-derived length crosses one call hop and
+// reaches a resize with no bound ever applied. recv_exact taints the
+// header buffer; decode_len has no definition in the tree, so its result
+// conservatively carries its argument's taint; grow()'s summary says its
+// second parameter flows into an allocation count.
+#include <vector>
+
+struct Sock {
+  int recv_exact(char* buf, unsigned n);
+};
+
+unsigned decode_len(const char* buf);  // no definition: taint passes through
+
+void grow(std::vector<char>& v, unsigned n) { v.resize(n); }
+
+void handle(Sock& s) {
+  char header[8];
+  s.recv_exact(header, 8);
+  std::vector<char> body;
+  grow(body, decode_len(header));  // attacker-declared allocation count
+}

@@ -1,0 +1,23 @@
+// Clean counterpart of r13_fsync_under_lock.cpp: the state update happens
+// under the lock, the durability syscall after releasing it. The brace
+// closing the lock scope and the fsync line are deliberately adjacent —
+// the mutation test swaps them to prove R13 re-fires when the I/O moves
+// inside the critical section.
+#include <mutex>
+#include <unistd.h>
+
+class Journal {
+ public:
+  void flush(int n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dirty_ += n;
+    }
+    ::fsync(fd_);
+  }
+
+ private:
+  std::mutex mu_;
+  int dirty_ = 0;  // guarded_by: mu_
+  int fd_ = -1;
+};

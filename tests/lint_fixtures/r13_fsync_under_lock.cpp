@@ -1,0 +1,19 @@
+// Seeded R13 violation: a durability syscall inside a guarded critical
+// section. mu_ is a declared guard (the guarded_by on dirty_), so every
+// writer queues behind the disk while the lock is held.
+#include <mutex>
+#include <unistd.h>
+
+class Logger {
+ public:
+  void log(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_ += n;
+    ::fsync(fd_);  // blocking while Logger::mu_ is held
+  }
+
+ private:
+  std::mutex mu_;
+  int dirty_ = 0;  // guarded_by: mu_
+  int fd_ = -1;
+};

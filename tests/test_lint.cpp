@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -110,11 +111,11 @@ TEST(Lint, EngineSourcesAreClean) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
-TEST(Lint, ListRulesDescribesAllEleven) {
+TEST(Lint, ListRulesDescribesAllThirteen) {
   const RunResult r = run(lint_cmd("--list-rules"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
   for (const char* rule : {"R1 ", "R2 ", "R3 ", "R4 ", "R5 ", "R6 ", "R7 ",
-                           "R8 ", "R9 ", "R10 ", "R11 "})
+                           "R8 ", "R9 ", "R10 ", "R11 ", "R12 ", "R13 "})
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
 }
 
@@ -209,11 +210,12 @@ TEST(LintCross, FixtureTreeYieldsExactlyOneFindingPerRule) {
   const RunResult r =
       run(lint_cmd("--cross-file " + std::string(GPTC_LINT_FIXTURES)));
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  // R1–R8, R10 and R11 seed one finding each; R7 seeds a second (the
+  // R1–R8, R10–R13 seed one finding each; R7 seeds a second (the
   // by-reference inversion) and R9 seeds two (thread entry + replay apply).
-  EXPECT_NE(r.output.find("13 finding(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("15 finding(s)"), std::string::npos) << r.output;
   for (const char* rule : {"[R1]", "[R2]", "[R3]", "[R4]", "[R5]", "[R6]",
-                           "[R7]", "[R8]", "[R9]", "[R10]", "[R11]"})
+                           "[R7]", "[R8]", "[R9]", "[R10]", "[R11]", "[R12]",
+                           "[R13]"})
     EXPECT_NE(r.output.find(rule), std::string::npos)
         << "missing " << rule << " in:\n"
         << r.output;
@@ -290,6 +292,130 @@ TEST(LintGuard, TextFormatEndsWithPerRuleSummary) {
   EXPECT_NE(r.output.find("R10=1"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("R11=1"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("R1=0"), std::string::npos) << r.output;
+}
+
+// --- interprocedural dataflow (R12/R13) -------------------------------------
+
+TEST(LintDataflow, R12CatchesTaintThroughOneCallHop) {
+  // recv_exact taints the header in handle(); the undefined decode_len
+  // passes it through; grow()'s summary carries it into v.resize — the
+  // finding lands on the call site that lets untrusted data in.
+  expect_cross_violation(fixture("r12_taint_resize.cpp"),
+                         "r12_taint_resize.cpp", 20, "R12");
+}
+
+TEST(LintDataflow, SanitizedAndAnnotatedTaintFlowsAreClean) {
+  expect_cross_clean(fixture("r12_sanitized_clean.cpp"));
+}
+
+TEST(LintDataflow, TaintOkCommentIsLoadBearing) {
+  // Strip the taint-ok annotation out of the clean fixture: the annotated
+  // resize must then surface as R12 — the escape is what suppresses it.
+  std::ifstream in(fixture("r12_sanitized_clean.cpp"));
+  ASSERT_TRUE(in.is_open());
+  const std::string stripped = "lint_taint_escape_stripped.cpp";
+  {
+    std::ofstream out(stripped);
+    std::string line;
+    while (std::getline(in, line))
+      if (line.find("taint-ok") == std::string::npos) out << line << "\n";
+  }
+  const RunResult r = run(lint_cmd("--cross-file " + stripped));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[R12]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("handle_annotated"), std::string::npos) << r.output;
+  std::remove(stripped.c_str());
+}
+
+TEST(LintDataflow, R13CatchesFsyncUnderDeclaredGuard) {
+  expect_cross_violation(fixture("r13_fsync_under_lock.cpp"),
+                         "r13_fsync_under_lock.cpp", 12, "R13");
+}
+
+TEST(LintDataflow, UnlockBeforeFsyncIsClean) {
+  expect_cross_clean(fixture("r13_clean_unlock_first.cpp"));
+}
+
+TEST(LintDataflow, MovingFsyncInsideLockScopeRefires) {
+  // The mutation the rule exists to catch: swap the scope-closing brace
+  // with the fsync line, pulling the syscall inside the critical section.
+  std::ifstream in(fixture("r13_clean_unlock_first.cpp"));
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::size_t brace = 0, fsync = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i] == "    }") brace = i;
+    if (lines[i] == "    ::fsync(fd_);") fsync = i;
+  }
+  ASSERT_NE(brace, 0u);
+  ASSERT_EQ(fsync, brace + 1);
+  std::swap(lines[brace], lines[fsync]);
+  const std::string mutated = "lint_fsync_moved_inside.cpp";
+  {
+    std::ofstream out(mutated);
+    for (const std::string& l : lines) out << l << "\n";
+  }
+  const RunResult r = run(lint_cmd("--cross-file " + mutated));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[R13]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("Journal::mu_"), std::string::npos) << r.output;
+  std::remove(mutated.c_str());
+}
+
+TEST(LintDataflow, DataflowViolationsAreInvisibleToPerFileMode) {
+  // Both seeds need the whole-program walk: without --cross-file there is
+  // no call graph, no taint propagation and no held-lock context.
+  const RunResult r = run(lint_cmd(fixture("r12_taint_resize.cpp") + " " +
+                                   fixture("r13_fsync_under_lock.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintDataflow, DeletingServerBoundsCheckRefiresTaint) {
+  // The acceptance mutation: the shipped serve_connection is provably
+  // bounded (control), and deleting its max_request_bytes comparison
+  // re-opens the wire-to-allocation flow as an R12 finding.
+  std::ifstream in(std::string(GPTC_LINT_SRC_DIR) + "/net/server.cpp");
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  const std::string control = "lint_server_control.cpp";
+  {
+    std::ofstream out(control);
+    for (const std::string& l : lines) out << l << "\n";
+  }
+  RunResult r = run(lint_cmd("--cross-file " + control));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  // Delete the bounds-check block (the `if (...) { ... }` that compares
+  // the declared payload size against max_request_bytes).
+  std::size_t begin = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("h.payload_size > opts_.max_request_bytes") !=
+        std::string::npos) {
+      begin = i;
+      break;
+    }
+  }
+  ASSERT_LT(begin, lines.size());
+  std::size_t close = begin;
+  while (close < lines.size() && lines[close] != "      }") ++close;
+  ASSERT_LT(close, lines.size());
+  const std::string mutated = "lint_server_unbounded.cpp";
+  {
+    std::ofstream out(mutated);
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (i < begin || i > close) out << lines[i] << "\n";
+  }
+  r = run(lint_cmd("--cross-file " + mutated));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[R12]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("body.assign"), std::string::npos) << r.output;
+  std::remove(control.c_str());
+  std::remove(mutated.c_str());
 }
 
 // --- output formats and baseline -------------------------------------------

@@ -151,6 +151,26 @@ TEST_F(NetTest, UploadThenQueryRoundTrip) {
   EXPECT_EQ(stats.at("records_uploaded").as_int(), 3);
 }
 
+TEST_F(NetTest, EachRequestAuthenticatesExactlyOnce) {
+  start();
+  CrowdClient c = client();
+  c.upload(api_key_, "pdgeqrf", {make_eval(4, 1.5)});  // warm catalog paths
+
+  // One stored-key hash per request: the handler authenticates once and
+  // hands the AuthedUser proof to the repo, which must not re-hash.
+  std::uint64_t before = crowd::SharedRepo::auth_hash_invocations();
+  c.upload(api_key_, "pdgeqrf", {make_eval(8, 2.5)});
+  EXPECT_EQ(crowd::SharedRepo::auth_hash_invocations() - before, 1u);
+
+  before = crowd::SharedRepo::auth_hash_invocations();
+  c.query(api_key_, "pdgeqrf", "tuning_parameters.mb >= 4");
+  EXPECT_EQ(crowd::SharedRepo::auth_hash_invocations() - before, 1u);
+
+  before = crowd::SharedRepo::auth_hash_invocations();
+  c.explain(api_key_, "pdgeqrf", "tuning_parameters.mb >= 4");
+  EXPECT_EQ(crowd::SharedRepo::auth_hash_invocations() - before, 1u);
+}
+
 TEST_F(NetTest, EmptyWhereReturnsWholeVisiblePartition) {
   start();
   CrowdClient c = client();
@@ -223,6 +243,59 @@ TEST_F(NetTest, WrongVersionByteGetsBadVersionAndClose) {
   EXPECT_EQ(error_code_of(read_frame(sock)), "bad_version");
   char byte = 0;
   EXPECT_EQ(sock.recv_exact(&byte, 1), IoStatus::Eof);
+  expect_alive();
+}
+
+TEST_F(NetTest, ZeroDeclaredPayloadLengthIsBadFrame) {
+  start();
+  Socket sock = raw_connect();
+  // A syntactically perfect header declaring an empty payload: no frame
+  // carries an empty JSON document, so this must be rejected as malformed
+  // rather than answered or silently skipped.
+  const std::string header = encode_header(0);
+  ASSERT_EQ(sock.send_all(header.data(), header.size()), IoStatus::Ok);
+  EXPECT_EQ(error_code_of(read_frame(sock)), "bad_frame");
+  char byte = 0;
+  EXPECT_EQ(sock.recv_exact(&byte, 1), IoStatus::Eof);
+  expect_alive();
+}
+
+TEST_F(NetTest, NonzeroFlagsOrReservedBytesAreBadFrame) {
+  start();
+  for (std::size_t i = 5; i <= 7; ++i) {
+    Socket sock = raw_connect();
+    Json req = Json::object();
+    req["op"] = "health";
+    std::string frame = encode_frame(req);
+    frame[i] = 1;
+    ASSERT_EQ(sock.send_all(frame.data(), frame.size()), IoStatus::Ok);
+    EXPECT_EQ(error_code_of(read_frame(sock)), "bad_frame") << "byte " << i;
+  }
+  expect_alive();
+}
+
+TEST_F(NetTest, HeaderBitFlipSweepNeverYieldsOk) {
+  ServerOptions opts;
+  opts.read_timeout_ms = 150;  // length-increasing flips end in a fast timeout
+  start(opts);
+  Json req = Json::object();
+  req["op"] = "health";
+  const std::string frame = encode_frame(req);
+  // Deterministic single-bit corruption of every header byte: whatever the
+  // flip hits — magic, version, flags, reserved, declared length — the
+  // server must answer with a typed error, never treat the frame as valid.
+  for (std::size_t byte = 0; byte < kHeaderSize; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Socket sock = raw_connect();
+      std::string corrupted = frame;
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+      ASSERT_EQ(sock.send_all(corrupted.data(), corrupted.size()),
+                IoStatus::Ok);
+      EXPECT_FALSE(read_frame(sock).at("ok").as_bool())
+          << "flipping byte " << byte << " bit " << bit
+          << " must not yield a valid request";
+    }
+  }
   expect_alive();
 }
 

@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
                     std::make_move_iterator(file_findings.end()));
   }
   if (cross_file) {
-    auto project_findings = gptc::lint::run_project_rules(index);
+    auto project_findings = gptc::lint::run_project_rules(index, scanned);
     findings.insert(findings.end(),
                     std::make_move_iterator(project_findings.begin()),
                     std::make_move_iterator(project_findings.end()));
@@ -238,9 +238,10 @@ int main(int argc, char** argv) {
                 << f.message << "\n";
     }
     // One-line per-rule summary so CI logs show coverage at a glance.
-    static constexpr const char* kRuleIds[] = {"R1", "R2", "R3", "R4",
-                                               "R5", "R6", "R7", "R8",
-                                               "R9", "R10", "R11"};
+    static constexpr const char* kRuleIds[] = {"R1",  "R2",  "R3",  "R4",
+                                               "R5",  "R6",  "R7",  "R8",
+                                               "R9",  "R10", "R11", "R12",
+                                               "R13"};
     std::cout << "gptc-lint: rule summary:";
     for (const char* id : kRuleIds) {
       std::size_t n = 0;

@@ -50,7 +50,23 @@ constexpr RuleMeta kRules[] = {
     {"R11", "shared-lock-write",
      "No write to a guarded or inferred-guarded member while its "
      "shared_mutex is held only in shared mode."},
+    {"R12", "untrusted-input-taint",
+     "Wire input (Socket::recv*, decoded frames, message payloads) must be "
+     "compared against a named max_*/limit bound before reaching an "
+     "allocation size, array index, loop bound or file path."},
+    {"R13", "blocking-under-lock",
+     "No blocking syscall (directly or transitively) while a "
+     "guarded-by-declared mutex is held exclusive; request handlers must "
+     "stay off the snapshot/compaction path."},
 };
+
+/// Stable documentation anchor for each rule, emitted as SARIF helpUri so
+/// viewers can link findings back to the contract they enforce.
+std::string help_uri(const char* rule_name) {
+  return std::string(
+             "https://github.com/gptc/gptc/blob/main/README.md#lint-") +
+         rule_name;
+}
 
 std::string escape(const std::string& s) {
   std::string out;
@@ -351,7 +367,7 @@ std::string to_sarif(const std::vector<Finding>& findings) {
     out << (i == 0 ? "\n" : ",\n")
         << "            {\"id\": \"" << r.id << "\", \"name\": \"" << r.name
         << "\", \"shortDescription\": {\"text\": \"" << escape(r.description)
-        << "\"}}";
+        << "\"}, \"helpUri\": \"" << escape(help_uri(r.name)) << "\"}";
   }
   out << "\n          ]\n"
       << "        }\n"

@@ -626,7 +626,8 @@ void rule_r9(const ScannedFile& f, const ProjectIndex& ix,
 // R7: lock-order cycles over the project-wide acquires-while-holding graph.
 // ---------------------------------------------------------------------------
 
-std::vector<Finding> run_project_rules(const ProjectIndex& index) {
+std::vector<Finding> run_project_rules(const ProjectIndex& index,
+                                       const std::vector<ScannedFile>& files) {
   std::vector<Finding> out;
   // Active edges: at least one non-suppressed witness.
   std::map<std::string, std::set<std::string>> adj;
@@ -698,6 +699,14 @@ std::vector<Finding> run_project_rules(const ProjectIndex& index) {
   // finalize() (the checks need the interprocedural held-lock fixpoints).
   for (const GuardFinding& g : index.guard_findings())
     out.push_back(Finding{g.path, g.line, g.rule, g.message});
+  // R12/R13: interprocedural dataflow rules (dataflow.cpp) over the same
+  // resolved call graph, via the shared worklist framework.
+  auto taint = run_taint_rule(index, files);
+  out.insert(out.end(), std::make_move_iterator(taint.begin()),
+             std::make_move_iterator(taint.end()));
+  auto blocking = run_blocking_rule(index);
+  out.insert(out.end(), std::make_move_iterator(blocking.begin()),
+             std::make_move_iterator(blocking.end()));
   return out;
 }
 
@@ -761,7 +770,16 @@ std::string describe_rules() {
       "(escape: `// guard-ok: <reason>`)\n"
       "R11 shared-lock-write        [--cross-file] no write to a guarded or "
       "inferred-guarded member while its shared_mutex is held only in "
-      "shared mode (escape: `// guard-ok: <reason>`)\n";
+      "shared mode (escape: `// guard-ok: <reason>`)\n"
+      "R12 untrusted-input-taint    [--cross-file] wire input (Socket::recv*, "
+      "decoded frames, message payloads) must be compared against a named "
+      "max_*/limit bound before reaching an allocation size, array index, "
+      "loop bound or file path (escape: `// taint-ok: <reason>`)\n"
+      "R13 blocking-under-lock      [--cross-file] no blocking syscall "
+      "(fsync/write/recv/sleep/cv-wait, directly or transitively) while a "
+      "guarded-by-declared mutex is held exclusive, and no handle_*/serve_* "
+      "handler may enter the snapshot/compaction path (escape: "
+      "`// blocking-ok: <reason>`)\n";
 }
 
 }  // namespace gptc::lint

@@ -132,6 +132,14 @@ class IndexBuilder {
         // below it.
         if (d.own_line) ix_.guard_ok_[f_.path].insert(d.line + 1);
       }
+      if (d.name == "blocking-ok" && !d.reason.empty()) {
+        ix_.blocking_ok_[f_.path].insert(d.line);
+        if (d.own_line) ix_.blocking_ok_[f_.path].insert(d.line + 1);
+      }
+      if (d.name == "taint-ok" && !d.reason.empty()) {
+        ix_.taint_ok_[f_.path].insert(d.line);
+        if (d.own_line) ix_.taint_ok_[f_.path].insert(d.line + 1);
+      }
     }
   }
 
@@ -456,6 +464,8 @@ class IndexBuilder {
     }
     if (directive_at("guard-ok", fn.line, 2) != nullptr)
       fn.guard_exempt = true;
+    if (directive_at("blocking-ok", fn.line, 2) != nullptr)
+      fn.blocking_exempt = true;
     if (is_def) {
       fn.body_begin = j;
       fn.body_end = find_matching(t_, j, "{", "}");
@@ -530,6 +540,7 @@ class IndexBuilder {
     const auto params = parse_params(params_open, params_close);
     std::map<std::string, std::string> var_types;
     for (std::size_t p = 0; p < params.size(); ++p) {
+      fn.param_names.push_back(params[p].first);
       if (params[p].first.empty()) continue;
       var_types.emplace(params[p].first, params[p].second);
       if (kMutexTypes.count(params[p].second) != 0)
@@ -1079,13 +1090,14 @@ void ProjectIndex::finalize() {
   // every record of it: annotating the header declaration is enough.
   {
     std::map<std::string, std::vector<LockContract>> req, ret;
-    std::set<std::string> exempt_names;
+    std::set<std::string> exempt_names, blocking_names;
     for (const FunctionInfo& fn : functions_) {
       for (const LockContract& c : fn.requires_locks)
         req[fn.qualified].push_back(c);
       for (const LockContract& c : fn.returns_locks)
         ret[fn.qualified].push_back(c);
       if (fn.guard_exempt) exempt_names.insert(fn.qualified);
+      if (fn.blocking_exempt) blocking_names.insert(fn.qualified);
     }
     for (FunctionInfo& fn : functions_) {
       if (const auto it = req.find(fn.qualified); it != req.end())
@@ -1093,6 +1105,7 @@ void ProjectIndex::finalize() {
       if (const auto it = ret.find(fn.qualified); it != ret.end())
         fn.returns_locks = it->second;
       if (exempt_names.count(fn.qualified) != 0) fn.guard_exempt = true;
+      if (blocking_names.count(fn.qualified) != 0) fn.blocking_exempt = true;
     }
   }
 
@@ -1107,9 +1120,11 @@ void ProjectIndex::finalize() {
   // resolved owner chain bind to that class only (so `shards_.find(...)` on
   // a std::map member resolves to nothing, not to Collection::find); calls
   // with unresolvable owners fall back to every same-named definition.
-  auto candidates = [this](const FunctionInfo& fn,
-                           const CallSite& c) -> std::vector<std::size_t> {
+  auto candidates = [this](const FunctionInfo& fn, const CallSite& c,
+                           bool* weak_out =
+                               nullptr) -> std::vector<std::size_t> {
     std::vector<std::size_t> out;
+    if (weak_out != nullptr) *weak_out = false;
     const auto it = by_base_.find(c.name);
     if (it == by_base_.end()) return out;
     std::string type;
@@ -1146,6 +1161,7 @@ void ProjectIndex::finalize() {
         if (classes_.count(type) == 0) type = "!";
       }
     }
+    if (weak_out != nullptr) *weak_out = c.member_call && !resolved;
     for (std::size_t i : it->second) {
       if (!functions_[i].is_definition) continue;
       if (c.member_call && resolved) {
@@ -1156,25 +1172,25 @@ void ProjectIndex::finalize() {
     return out;
   };
 
-  // Fixpoint 1: functions that transitively reach a durability call.
-  std::vector<char> reach(functions_.size(), 0);
-  for (std::size_t i = 0; i < functions_.size(); ++i)
-    reach[i] = functions_[i].contains_sync ? 1 : 0;
-  for (bool changed = true; changed;) {
-    changed = false;
-    for (std::size_t i = 0; i < functions_.size(); ++i) {
-      if (reach[i] || !functions_[i].is_definition) continue;
-      for (const CallSite& c : functions_[i].calls) {
-        for (std::size_t k : candidates(functions_[i], c))
-          if (reach[k]) {
-            reach[i] = 1;
-            changed = true;
-            break;
-          }
-        if (reach[i]) break;
-      }
+  // The resolved call multigraph — one edge per (call site, candidate
+  // definition). Every interprocedural fixpoint below, and the R12/R13
+  // dataflow rules that run after finalize(), walk this one graph.
+  graph_ = dataflow::CallGraph(functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (!functions_[i].is_definition) continue;
+    for (std::size_t ci = 0; ci < functions_[i].calls.size(); ++ci) {
+      bool weak = false;
+      for (std::size_t k :
+           candidates(functions_[i], functions_[i].calls[ci], &weak))
+        graph_.add_edge(i, k, ci, weak);
     }
   }
+
+  // Sync-reachability (R8): a boolean closure over the call graph.
+  std::vector<char> sync_seed(functions_.size(), 0);
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    sync_seed[i] = functions_[i].contains_sync ? 1 : 0;
+  const std::vector<char> reach = dataflow::reach_closure(graph_, sync_seed);
   sync_reaching_.clear();
   for (std::size_t i = 0; i < functions_.size(); ++i)
     if (reach[i]) sync_reaching_.insert(functions_[i].base);
@@ -1201,26 +1217,25 @@ void ProjectIndex::finalize() {
     return is_placeholder(id) ? fn.base + "::#param" + id.substr(1) : id;
   };
 
-  // Fixpoint 2: transitive lock sets per function (then folded per base
-  // name, matching the over-approximate call resolution). Placeholders are
+  // Transitive lock sets per function (then folded per base name, matching
+  // the over-approximate call resolution): a set closure whose per-edge
+  // substitution resolves positional placeholders. Placeholders are
   // function-local: they are substituted whenever a set crosses a call
   // edge, so `$0` of one helper never aliases `$0` of another.
   std::vector<std::set<std::string>> locks(functions_.size());
   for (std::size_t i = 0; i < functions_.size(); ++i)
     for (const LockSite& l : functions_[i].locks) locks[i].insert(l.lock_id);
-  for (bool changed = true; changed;) {
-    changed = false;
-    for (std::size_t i = 0; i < functions_.size(); ++i) {
-      if (!functions_[i].is_definition) continue;
-      for (const CallSite& c : functions_[i].calls) {
-        for (std::size_t k : candidates(functions_[i], c)) {
-          for (const std::string& id : locks[k])
-            if (locks[i].insert(subst(functions_[k], c, id)).second)
-              changed = true;
-        }
-      }
-    }
-  }
+  locks = dataflow::set_closure(
+      graph_, std::move(locks),
+      [&](const dataflow::Edge& e, const std::string& id) {
+        // A name-only fallback binding to a std-colliding method name is
+        // far more likely `v.insert(...)` on a container than a call into
+        // the project method; letting its lock set cross the edge invents
+        // acquires-while-holding witnesses out of thin air.
+        if (e.weak && dataflow::generic_method_name(functions_[e.to].base))
+          return std::string();
+        return subst(functions_[e.to], functions_[e.from].calls[e.site], id);
+      });
   lock_closure_.clear();
   for (std::size_t i = 0; i < functions_.size(); ++i)
     for (const std::string& id : locks[i])
@@ -1277,9 +1292,13 @@ void ProjectIndex::finalize() {
       for (const CallSite& c : fn.calls) {
         if (c.token <= l.token || c.token >= l.scope_end) continue;
         std::set<std::string> acquired;
-        for (std::size_t k : candidates(fn, c))
+        bool weak = false;
+        for (std::size_t k : candidates(fn, c, &weak)) {
+          if (weak && dataflow::generic_method_name(functions_[k].base))
+            continue;
           for (const std::string& id : locks[k])
             acquired.insert(subst(functions_[k], c, id));
+        }
         for (const std::string& id : acquired) {
           if (id == l.lock_id) continue;
           add_edge(fn, i, l.lock_id, id, c.line,
@@ -1296,13 +1315,17 @@ void ProjectIndex::finalize() {
   // propagates another level; fully concrete edges are emitted with the
   // call site as witness. Unresolvable placeholders keep the per-callee
   // fallback name, so an order violation inside one helper still surfaces.
-  for (bool changed = true; changed;) {
-    changed = false;
-    for (std::size_t i = 0; i < functions_.size(); ++i) {
-      const FunctionInfo& fn = functions_[i];
-      if (!fn.is_definition) continue;
-      for (const CallSite& c : fn.calls) {
-        for (std::size_t k : candidates(fn, c)) {
+  // The worklist driver revisits a caller whenever a callee's summary set
+  // grows (witness emission is idempotent, so re-running a node is safe).
+  dataflow::solve(
+      functions_.size(),
+      [&](std::size_t i) {
+        const FunctionInfo& fn = functions_[i];
+        if (!fn.is_definition) return false;
+        bool changed = false;
+        for (const dataflow::Edge& edge : graph_.out_edges(i)) {
+          const CallSite& c = fn.calls[edge.site];
+          const std::size_t k = edge.to;
           for (std::size_t e = 0; e < pedges[k].size(); ++e) {
             const ParamEdge pe = pedges[k][e];
             const std::string a = subst(functions_[k], c, pe.a);
@@ -1334,9 +1357,14 @@ void ProjectIndex::finalize() {
             if (!dup) ws.push_back(std::move(w));
           }
         }
-      }
-    }
-  }
+        return changed;
+      },
+      [&](std::size_t i) {
+        std::vector<std::size_t> deps;
+        for (const dataflow::Edge& edge : graph_.in_edges(i))
+          deps.push_back(edge.from);
+        return deps;
+      });
 
   // ---- Guard analysis (R10/R11) -------------------------------------------
   guard_findings_.clear();
@@ -1350,10 +1378,10 @@ void ProjectIndex::finalize() {
 
   // Effective lock sites per function: body sites plus RAII handles
   // obtained from returns-lock callees (those live until the call's
-  // enclosing scope closes).
-  std::vector<std::vector<LockSite>> eff_locks(functions_.size());
+  // enclosing scope closes). Persisted: the R13 held-set queries reuse it.
+  eff_locks_.assign(functions_.size(), {});
   for (std::size_t i = 0; i < functions_.size(); ++i) {
-    eff_locks[i] = functions_[i].locks;
+    eff_locks_[i] = functions_[i].locks;
     if (!functions_[i].is_definition) continue;
     for (const CallSite& c : functions_[i].calls) {
       std::set<std::pair<std::string, bool>> got;
@@ -1367,7 +1395,7 @@ void ProjectIndex::finalize() {
         ls.line = c.line;
         ls.token = c.token;
         ls.scope_end = c.scope_end;
-        eff_locks[i].push_back(std::move(ls));
+        eff_locks_[i].push_back(std::move(ls));
       }
     }
   }
@@ -1375,17 +1403,14 @@ void ProjectIndex::finalize() {
   // Held sets: lock id -> held in exclusive mode. `top` marks "everything"
   // (the greatest-fixpoint seed for functions whose entry context is still
   // unconstrained).
-  struct Held {
-    bool top = false;
-    std::map<std::string, bool> ids;
-  };
+  using Held = HeldSet;
   const auto add_held = [](Held& h, const std::string& id, bool excl) {
     auto [it, ins] = h.ids.emplace(id, excl);
     if (!ins) it->second = it->second || excl;
   };
   const auto local_held = [&](std::size_t i, std::size_t tok) {
     Held h;
-    for (const LockSite& l : eff_locks[i])
+    for (const LockSite& l : eff_locks_[i])
       if (l.token < tok && tok < l.scope_end) add_held(h, l.lock_id, !l.shared);
     return h;
   };
@@ -1406,30 +1431,27 @@ void ProjectIndex::finalize() {
     }
   };
 
-  // Visible call sites per callee (over-approximate candidate binding).
+  // Visible call sites per callee, straight off the resolved graph.
   std::vector<std::vector<std::pair<std::size_t, const CallSite*>>> incoming(
       functions_.size());
-  for (std::size_t i = 0; i < functions_.size(); ++i) {
-    if (!functions_[i].is_definition) continue;
-    for (const CallSite& c : functions_[i].calls)
-      for (std::size_t k : candidates(functions_[i], c))
-        incoming[k].push_back({i, &c});
-  }
+  for (std::size_t k = 0; k < functions_.size(); ++k)
+    for (const dataflow::Edge& e : graph_.in_edges(k))
+      incoming[k].push_back({e.from, &functions_[e.from].calls[e.site]});
 
   // Exempt functions: constructors/destructors, explicit guard-ok bodies,
   // and functions whose every visible call site sits inside an exempt
   // function (single-threaded setup helpers). A call from a lambda body
   // never propagates exemption — the lambda may run on a thread later.
-  std::vector<char> exempt(functions_.size(), 0);
+  exempt_.assign(functions_.size(), 0);
   for (std::size_t i = 0; i < functions_.size(); ++i) {
     const FunctionInfo& fn = functions_[i];
     if (fn.guard_exempt || (!fn.cls.empty() && fn.base == fn.cls))
-      exempt[i] = 1;
+      exempt_[i] = 1;
   }
   for (bool changed = true; changed;) {
     changed = false;
     for (std::size_t i = 0; i < functions_.size(); ++i) {
-      if (exempt[i] || incoming[i].empty()) continue;
+      if (exempt_[i] || incoming[i].empty()) continue;
       bool all_exempt = true, any = false, from_lambda = false;
       for (const auto& [caller, site] : incoming[i]) {
         if (site->in_lambda) {
@@ -1437,13 +1459,13 @@ void ProjectIndex::finalize() {
           break;
         }
         any = true;
-        if (!exempt[caller]) {
+        if (!exempt_[caller]) {
           all_exempt = false;
           break;
         }
       }
       if (!from_lambda && any && all_exempt) {
-        exempt[i] = 1;
+        exempt_[i] = 1;
         changed = true;
       }
     }
@@ -1462,48 +1484,59 @@ void ProjectIndex::finalize() {
   std::vector<std::vector<std::pair<std::size_t, const CallSite*>>> counted(
       functions_.size());
   for (std::size_t i = 0; i < functions_.size(); ++i) {
-    if (!functions_[i].is_definition || exempt[i]) continue;
-    for (const CallSite& c : functions_[i].calls) {
+    if (!functions_[i].is_definition || exempt_[i]) continue;
+    for (const dataflow::Edge& e : graph_.out_edges(i)) {
+      const CallSite& c = functions_[i].calls[e.site];
       if (c.in_lambda) continue;
-      for (std::size_t k : candidates(functions_[i], c))
-        counted[k].push_back({i, &c});
+      counted[e.to].push_back({i, &c});
     }
   }
-  std::vector<Held> entry(functions_.size());
+  entry_.assign(functions_.size(), Held{});
   for (std::size_t i = 0; i < functions_.size(); ++i)
-    entry[i].top = !counted[i].empty();
+    entry_[i].top = !counted[i].empty();
   const auto full_held = [&](std::size_t i, std::size_t tok) {
     Held h = local_held(i, tok);
-    if (entry[i].top) {
+    if (entry_[i].top) {
       h.top = true;
       return h;
     }
-    for (const auto& [id, ex] : entry[i].ids) add_held(h, id, ex);
+    for (const auto& [id, ex] : entry_[i].ids) add_held(h, id, ex);
     const Held req = requires_of(i);
     for (const auto& [id, ex] : req.ids) add_held(h, id, ex);
     return h;
   };
-  for (bool changed = true; changed;) {
-    changed = false;
-    for (std::size_t k = 0; k < functions_.size(); ++k) {
-      if (counted[k].empty()) continue;
-      Held nh;
-      nh.top = true;
-      for (const auto& [i, c] : counted[k]) meet_into(nh, full_held(i, c->token));
-      if (nh.top != entry[k].top || nh.ids != entry[k].ids) {
-        entry[k] = std::move(nh);
-        changed = true;
-      }
-    }
-  }
+  // Greatest fixpoint: entry contexts only ever shrink under the meet, so
+  // the chaotic worklist converges from the `top` seed in any order. When a
+  // function's entry context changes, its (non-deferred) callees must be
+  // revisited — their meets read it through full_held.
+  dataflow::solve(
+      functions_.size(),
+      [&](std::size_t k) {
+        if (counted[k].empty()) return false;
+        Held nh;
+        nh.top = true;
+        for (const auto& [i, c] : counted[k])
+          meet_into(nh, full_held(i, c->token));
+        if (nh.top != entry_[k].top || nh.ids != entry_[k].ids) {
+          entry_[k] = std::move(nh);
+          return true;
+        }
+        return false;
+      },
+      [&](std::size_t k) {
+        std::vector<std::size_t> deps;
+        for (const dataflow::Edge& e : graph_.out_edges(k))
+          if (!functions_[k].calls[e.site].in_lambda) deps.push_back(e.to);
+        return deps;
+      });
 
   if (std::getenv("GPTC_LINT_DEBUG_GUARD") != nullptr) {
     for (std::size_t i = 0; i < functions_.size(); ++i) {
       if (!functions_[i].is_definition) continue;
       std::fprintf(stderr, "fn %s exempt=%d entry.top=%d entry={",
-                   functions_[i].qualified.c_str(), int(exempt[i]),
-                   int(entry[i].top));
-      for (const auto& [id, ex] : entry[i].ids)
+                   functions_[i].qualified.c_str(), int(exempt_[i]),
+                   int(entry_[i].top));
+      for (const auto& [id, ex] : entry_[i].ids)
         std::fprintf(stderr, "%s%s ", id.c_str(), ex ? "!" : "~");
       std::fprintf(stderr, "} counted=%zu\n", counted[i].size());
     }
@@ -1550,7 +1583,7 @@ void ProjectIndex::finalize() {
   std::map<std::string, std::string> infer_cls;
   for (std::size_t i = 0; i < functions_.size(); ++i) {
     const FunctionInfo& fn = functions_[i];
-    if (!fn.is_definition || exempt[i]) continue;
+    if (!fn.is_definition || exempt_[i]) continue;
     for (const MemberAccess& a : fn.accesses) {
       std::vector<std::tuple<std::string, std::string, bool>> links;
       std::string type;
@@ -1633,7 +1666,7 @@ void ProjectIndex::finalize() {
   // site. Calls from lambda bodies are skipped (deferred execution).
   for (std::size_t i = 0; i < functions_.size(); ++i) {
     const FunctionInfo& fn = functions_[i];
-    if (!fn.is_definition || exempt[i]) continue;
+    if (!fn.is_definition || exempt_[i]) continue;
     for (const CallSite& c : fn.calls) {
       if (c.in_lambda) continue;
       std::set<std::pair<std::string, bool>> contracts;
@@ -1664,6 +1697,60 @@ void ProjectIndex::finalize() {
               return std::tie(x.path, x.line, x.rule, x.message) <
                      std::tie(y.path, y.line, y.rule, y.message);
             });
+}
+
+std::set<std::string> ProjectIndex::declared_guards() const {
+  std::set<std::string> out;
+  for (const auto& [cls, members] : guarded_by_)
+    for (const auto& [member, id] : members) out.insert(id);
+  return out;
+}
+
+std::set<std::string> ProjectIndex::held_exclusive_at(std::size_t fn,
+                                                      std::size_t tok,
+                                                      bool local_only) const {
+  std::set<std::string> out;
+  if (fn >= eff_locks_.size()) return out;
+  for (const LockSite& l : eff_locks_[fn])
+    if (l.token < tok && tok < l.scope_end && !l.shared) out.insert(l.lock_id);
+  if (local_only) return out;
+  if (fn < entry_.size() && !entry_[fn].top)
+    for (const auto& [id, ex] : entry_[fn].ids)
+      if (ex) out.insert(id);
+  for (const LockContract& r : functions_[fn].requires_locks)
+    if (!r.shared) out.insert(r.lock_id);
+  return out;
+}
+
+std::string ProjectIndex::innermost_held_at(std::size_t fn,
+                                            std::size_t tok) const {
+  if (fn >= eff_locks_.size()) return "";
+  std::size_t best_tok = 0;
+  std::string best;
+  for (const LockSite& l : eff_locks_[fn])
+    if (l.token < tok && tok < l.scope_end && l.token >= best_tok) {
+      best_tok = l.token;
+      best = l.lock_id;
+    }
+  return best;
+}
+
+const std::vector<std::string>* ProjectIndex::member_decl_type_ids(
+    const std::string& cls, const std::string& member) const {
+  const auto ci = member_type_ids_.find(cls);
+  if (ci == member_type_ids_.end()) return nullptr;
+  const auto mi = ci->second.find(member);
+  return mi == ci->second.end() ? nullptr : &mi->second;
+}
+
+bool ProjectIndex::blocking_ok_at(const std::string& path, int line) const {
+  const auto it = blocking_ok_.find(path);
+  return it != blocking_ok_.end() && it->second.count(line) != 0;
+}
+
+bool ProjectIndex::taint_ok_at(const std::string& path, int line) const {
+  const auto it = taint_ok_.find(path);
+  return it != taint_ok_.end() && it->second.count(line) != 0;
 }
 
 }  // namespace gptc::lint

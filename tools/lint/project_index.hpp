@@ -44,6 +44,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dataflow.hpp"
 #include "source_scanner.hpp"
 
 namespace gptc::lint {
@@ -168,6 +169,9 @@ struct FunctionInfo {
   /// identity at every call site, so helpers that receive mutexes by
   /// reference no longer conflate (or hide) their callers' lock orders.
   std::map<std::string, std::size_t> mutex_params;
+  /// All parameter names in declaration order ("" for unrecognized slots),
+  /// so the taint analysis can seed positional labels (definitions only).
+  std::vector<std::string> param_names;
   std::vector<LockSite> locks;
   std::vector<CallSite> calls;
   std::vector<CreateSite> creates;
@@ -178,6 +182,11 @@ struct FunctionInfo {
   /// Function-level guard-ok annotation: the whole body is exempt from the
   /// guard analysis (single-threaded setup/recovery paths).
   bool guard_exempt = false;
+  /// Function-level blocking-ok annotation: callers treat this function as
+  /// non-blocking and outside the snapshot/compaction reachability set
+  /// (R13); its own body is still checked, so the escape documents an
+  /// accepted cost at the boundary without silencing new hazards inside.
+  bool blocking_exempt = false;
   /// Lambda body token extents inside this definition: accesses and calls in
   /// them run deferred, so held-lock reasoning is restricted to locks whose
   /// scope textually contains the site.
@@ -258,6 +267,44 @@ class ProjectIndex {
     return guard_findings_;
   }
 
+  // --- dataflow-rule queries (R12/R13), available after finalize() ---------
+
+  /// Every indexed function, addressable by node index — the node space of
+  /// call_graph() and of the held-set queries below.
+  const std::vector<FunctionInfo>& functions() const { return functions_; }
+
+  /// The resolved whole-program call multigraph (one edge per call site ×
+  /// candidate definition), shared by every interprocedural fixpoint.
+  const dataflow::CallGraph& call_graph() const { return graph_; }
+
+  /// Lock identities that appear as the guard in any guarded-by annotation
+  /// — the mutexes R13's blocking-under-lock check is scoped to.
+  std::set<std::string> declared_guards() const;
+
+  /// Lock ids held in exclusive mode at token `tok` of function `fn`:
+  /// locally scoped acquisitions plus (unless `local_only`, used for sites
+  /// inside lambda bodies) the interprocedurally propagated entry context.
+  /// An unconstrained entry context contributes nothing — the check only
+  /// fires on positive evidence.
+  std::set<std::string> held_exclusive_at(std::size_t fn, std::size_t tok,
+                                          bool local_only = false) const;
+
+  /// The most recently acquired lock still held at `tok` ("" when none) —
+  /// a condition_variable wait releases exactly this one.
+  std::string innermost_held_at(std::size_t fn, std::size_t tok) const;
+
+  /// Raw identifiers of a member's declared type (nullptr when unknown), so
+  /// rules can recognize std types the resolved-class table maps to "!"
+  /// (e.g. a condition_variable member behind a cv.wait call).
+  const std::vector<std::string>* member_decl_type_ids(
+      const std::string& cls, const std::string& member) const;
+
+  /// True when `path`:`line` is covered by a `// blocking-ok:` escape.
+  bool blocking_ok_at(const std::string& path, int line) const;
+
+  /// True when `path`:`line` is covered by a `// taint-ok:` escape.
+  bool taint_ok_at(const std::string& path, int line) const;
+
  private:
   friend class IndexBuilder;
 
@@ -278,6 +325,10 @@ class ProjectIndex {
   /// path -> lines covered by a guard-ok annotation (line + line-after, like
   /// every other escape comment).
   std::map<std::string, std::set<int>> guard_ok_;
+  /// path -> lines covered by blocking-ok / taint-ok escapes (same
+  /// own-line-covers-next-line convention as guard-ok).
+  std::map<std::string, std::set<int>> blocking_ok_;
+  std::map<std::string, std::set<int>> taint_ok_;
   /// class -> member -> normalized guard lock id, from guarded-by
   /// annotations on member declarations.
   std::map<std::string, std::map<std::string, std::string>> guarded_by_;
@@ -294,6 +345,18 @@ class ProjectIndex {
            std::vector<LockEdgeWitness>>
       lock_edges_;
   std::vector<GuardFinding> guard_findings_;
+  /// Resolved call multigraph over functions_ (built in finalize()).
+  dataflow::CallGraph graph_{0};
+  /// Per-function lock sites including RAII handles from returns-lock
+  /// callees, and the greatest-fixpoint held-at-entry contexts — persisted
+  /// for the R13 held-set queries.
+  struct HeldSet {
+    bool top = false;
+    std::map<std::string, bool> ids;  // lock id -> held exclusive
+  };
+  std::vector<std::vector<LockSite>> eff_locks_;
+  std::vector<HeldSet> entry_;
+  std::vector<char> exempt_;
 };
 
 }  // namespace gptc::lint

@@ -54,7 +54,8 @@ void parse_directive(std::string_view body, int line,
 /// reason — for the lock-naming forms, the first word of the reason is the
 /// lock expression.
 constexpr std::string_view kGuardTags[] = {
-    "guarded_by:", "requires_lock:", "returns_lock:", "guard-ok:"};
+    "guarded_by:", "requires_lock:", "returns_lock:", "guard-ok:",
+    "taint-ok:",   "blocking-ok:"};
 
 /// Scans a comment's text for a lint directive. `own_line` records whether
 /// the comment starts its own source line (see Directive::own_line).
